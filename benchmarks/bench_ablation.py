@@ -1,0 +1,51 @@
+"""E9 + E11 — refinement ablations: the cost of each refinement.
+
+Benchmarks mask derivation under the full configuration and with each
+Section 4.2 refinement disabled, asserting the dominance invariant
+(ablations never deliver more) on every round.
+"""
+
+import pytest
+
+from repro.config import BASE_MODEL_CONFIG, DEFAULT_CONFIG
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    build_paper_engine,
+)
+
+PAPER_SUITE = (
+    ("Brown", EXAMPLE_1_QUERY),
+    ("Klein", EXAMPLE_2_QUERY),
+    ("Brown", EXAMPLE_3_QUERY),
+)
+
+CONFIGS = {
+    "full": DEFAULT_CONFIG,
+    "no-padding": DEFAULT_CONFIG.but(product_padding=False),
+    "no-four-case": DEFAULT_CONFIG.but(refine_selection=False),
+    "no-selfjoin": DEFAULT_CONFIG.but(self_joins=False),
+    "base": BASE_MODEL_CONFIG,
+}
+
+FULL_MODEL_CELLS = 15  # measured reference for the paper suite
+
+
+def _suite_cells(engine):
+    return sum(
+        engine.authorize(user, query).stats().delivered_cells
+        for user, query in PAPER_SUITE
+    )
+
+
+@pytest.mark.parametrize("label", sorted(CONFIGS))
+def test_paper_suite_under_config(benchmark, label):
+    engine = build_paper_engine(CONFIGS[label])
+    delivered = benchmark(_suite_cells, engine)
+    assert delivered <= FULL_MODEL_CELLS
+    if label == "full":
+        assert delivered == FULL_MODEL_CELLS
+    if label in ("no-four-case", "base"):
+        # Without clearing, every Section 5 mask dies at projection.
+        assert delivered == 0

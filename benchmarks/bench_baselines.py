@@ -1,0 +1,84 @@
+"""E7 + E8 — baseline comparison latency.
+
+Benchmarks one decision per model on the Section 1 scenarios and
+asserts the limitation table: INGRES denies the widened request,
+System R denies the base-relation query, Motro reduces both.
+"""
+
+from repro.algebra.database import build_database
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.baselines.ingres import IngresModel
+from repro.baselines.interface import Outcome
+from repro.baselines.motro import MotroModel
+from repro.baselines.system_r import SystemRModel
+from repro.calculus.ast import AttrRef, Condition, ConstTerm
+from repro.core.engine import AuthorizationEngine
+from repro.meta.catalog import PermissionCatalog
+from repro.predicates.comparators import Comparator
+
+THREE_COLS = "retrieve (A.A1, A.A2, A.A3)"
+
+
+def _database():
+    a = make_schema(
+        "A", [("A1", STRING), ("A2", STRING), ("A3", INTEGER)], key=["A1"]
+    )
+    return build_database([a], {
+        "A": [(f"r{i}", "u" if i % 3 == 0 else f"v{i}", i * 5)
+              for i in range(30)],
+    })
+
+
+def _predicate():
+    return Condition(AttrRef("A", "A2"), Comparator.NE, ConstTerm("u"))
+
+
+def test_ingres_decision(benchmark):
+    database = _database()
+    model = IngresModel(database)
+    model.permit("user", "A", ["A1", "A2"], [_predicate()])
+
+    decision = benchmark(model.authorize_query, "user", THREE_COLS)
+    assert decision.outcome is Outcome.DENIED  # the asymmetry
+
+
+def test_system_r_decision(benchmark):
+    database = _database()
+    model = SystemRModel(database)
+    model.create_view("_dba", "view V (A.A1, A.A2) where A.A2 != u")
+    model.grant("_dba", "user", "V")
+
+    decision = benchmark(model.authorize_query, "user", THREE_COLS)
+    assert decision.outcome is Outcome.DENIED  # views are windows
+
+
+def test_motro_decision(benchmark):
+    database = _database()
+    catalog = PermissionCatalog(database.schema)
+    catalog.define_view("view P12 (A.A1, A.A2) where A.A2 != u")
+    catalog.permit("P12", "user")
+    model = MotroModel(AuthorizationEngine(database, catalog))
+
+    decision = benchmark(model.authorize_query, "user", THREE_COLS)
+    assert decision.outcome is Outcome.PARTIAL  # reduced, not denied
+    assert decision.delivered_cells > 0
+
+
+def test_system_r_recursive_revoke(benchmark):
+    """The Griffiths-Wade revocation algorithm on a grant chain."""
+    database = _database()
+
+    def grant_and_revoke():
+        model = SystemRModel(database)
+        users = [f"u{i}" for i in range(8)]
+        model.grant("_dba", users[0], "A", grant_option=True)
+        for left, right in zip(users, users[1:]):
+            model.grant(left, right, "A", grant_option=True)
+        model.revoke("_dba", users[0], "A")
+        return model
+
+    model = benchmark(grant_and_revoke)
+    assert all(
+        "A" not in model.readable_objects(f"u{i}") for i in range(8)
+    )

@@ -1,0 +1,13 @@
+"""E13 — completeness probing throughput.
+
+Benchmarks the containment checker + engine pipeline that classifies
+derivable requests, asserting the measured completeness shape: the
+first three request kinds are complete, the Section 6(3) kind is not.
+"""
+
+from repro.experiments.completeness import run
+
+
+def test_completeness_experiment(benchmark):
+    result = benchmark(run)
+    assert result.passed

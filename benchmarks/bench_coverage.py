@@ -1,0 +1,59 @@
+"""E10 — coverage comparison under equal permissions.
+
+Benchmarks the per-query decision of each model on a shared workload
+and asserts the paper's shape: Motro >= INGRES >= System R in delivered
+cells over the suite.
+"""
+
+from repro.baselines.ingres import IngresModel
+from repro.baselines.motro import MotroModel
+from repro.baselines.system_r import SystemRModel
+from repro.core.engine import AuthorizationEngine
+from repro.experiments.coverage import (
+    _probe_queries,
+    translate_to_ingres,
+    translate_to_system_r,
+)
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+def _setup():
+    generator = WorkloadGenerator(3)
+    spec = WorkloadSpec(seed=3, views=4, users=2)
+    workload = generator.workload(spec)
+    motro = MotroModel(
+        AuthorizationEngine(workload.database, workload.catalog)
+    )
+    ingres = IngresModel(workload.database)
+    system_r = SystemRModel(workload.database)
+    translate_to_ingres(workload, ingres)
+    translate_to_system_r(workload, system_r)
+    queries = _probe_queries(workload, generator, spec)
+    return workload, motro, ingres, system_r, queries
+
+
+def _sweep(model, workload, queries):
+    total = 0
+    for query in queries:
+        for user in workload.users:
+            total += model.authorize_query(user, query).delivered_cells
+    return total
+
+
+def test_motro_sweep(benchmark):
+    workload, motro, ingres, system_r, queries = _setup()
+    motro_cells = benchmark(_sweep, motro, workload, queries)
+    ingres_cells = _sweep(ingres, workload, queries)
+    system_r_cells = _sweep(system_r, workload, queries)
+    assert motro_cells >= ingres_cells >= system_r_cells
+    assert motro_cells > system_r_cells
+
+
+def test_ingres_sweep(benchmark):
+    workload, _motro, ingres, _system_r, queries = _setup()
+    benchmark(_sweep, ingres, workload, queries)
+
+
+def test_system_r_sweep(benchmark):
+    workload, _motro, _ingres, system_r, queries = _setup()
+    benchmark(_sweep, system_r, workload, queries)

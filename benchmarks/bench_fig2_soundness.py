@@ -1,0 +1,57 @@
+"""E2 — Figure 2: the soundness oracle's throughput.
+
+Benchmarks one full non-interference check (materialize all permitted
+views on two instances, authorize on both, compare deliveries) and the
+view-materialization primitive, asserting zero violations throughout.
+"""
+
+from repro.baselines.oracle import check_non_interference, materialize_view
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    build_paper_catalog,
+    build_paper_database,
+)
+
+
+def test_non_interference_check(benchmark):
+    generator = WorkloadGenerator(7)
+    spec = WorkloadSpec(seed=7)
+    workload = generator.workload(spec)
+    query = generator.query(spec, workload.database.schema)
+    mutated = generator.mutate(spec, workload.database)
+    user = workload.users[0]
+
+    def check():
+        return check_non_interference(
+            workload.catalog, user, query, workload.database, mutated
+        )
+
+    ok, _message = benchmark(check)
+    assert ok
+
+
+def test_paper_db_non_interference(benchmark):
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+    other = build_paper_database()
+    other.load("PROJECT", [
+        ("bq-45", "Acme", 300_000),
+        ("sv-72", "Apex", 450_000),
+        ("vg-13", "Summit", 42),  # invisible to Brown
+    ])
+
+    def check():
+        return check_non_interference(
+            catalog, "Brown", EXAMPLE_1_QUERY, database, other
+        )
+
+    ok, _message = benchmark(check)
+    assert ok
+
+
+def test_view_materialization(benchmark):
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+    relation = benchmark(materialize_view, catalog, "ELP", database)
+    assert relation.cardinality == 4

@@ -1,0 +1,47 @@
+"""E6 — the four-case selection analysis.
+
+Benchmarks the classifier on the paper's four probes and the
+end-to-end probe queries, asserting the expected case each time.
+"""
+
+from repro.experiments.refinement_cases import PROBES, _engine
+from repro.predicates.implication import classify
+from repro.predicates.intervals import Interval
+
+MU = Interval(lo=300_000, hi=600_000, discrete=True)
+
+
+def test_classifier_four_probes(benchmark):
+    probes = [
+        (Interval(lo=lo, hi=hi, discrete=True), expected)
+        for _, lo, hi, expected, _clauses in PROBES
+    ]
+
+    def run():
+        return [classify(MU, lam) for lam, _ in probes]
+
+    cases = benchmark(run)
+    assert cases == [expected for _, expected in probes]
+
+
+def test_end_to_end_probe_queries(benchmark):
+    engine = _engine()
+    queries = []
+    for _, lo, hi, _expected, _clauses in PROBES:
+        conditions = []
+        if lo is not None:
+            conditions.append(f"PROJECT.BUDGET >= {lo:,}")
+        if hi is not None:
+            conditions.append(f"PROJECT.BUDGET <= {hi:,}")
+        queries.append(
+            "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where "
+            + " and ".join(conditions)
+        )
+
+    def run():
+        return [engine.authorize("analyst", q) for q in queries]
+
+    answers = benchmark(run)
+    # conjoin, retain, clear deliver; discard does not.
+    delivered = [a.stats().delivered_cells > 0 for a in answers]
+    assert delivered == [True, True, True, False]

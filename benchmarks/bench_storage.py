@@ -1,0 +1,37 @@
+"""Persistence benchmarks: snapshot and restore round-trips."""
+
+from repro import storage
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.paperdb import build_paper_catalog, build_paper_database
+
+
+def test_snapshot_paper_database(benchmark):
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+
+    text = benchmark(storage.dumps, database, catalog)
+    assert "EMPLOYEE" in text
+
+
+def test_restore_paper_database(benchmark):
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+    text = storage.dumps(database, catalog)
+
+    restored_db, restored_catalog = benchmark(storage.loads, text)
+    assert restored_db.total_rows() == database.total_rows()
+    assert restored_catalog.view_names() == catalog.view_names()
+
+
+def test_roundtrip_large_workload(benchmark):
+    generator = WorkloadGenerator(77)
+    spec = WorkloadSpec(seed=77, relations=5, views=10, users=4,
+                        rows_per_relation=200)
+    workload = generator.workload(spec)
+
+    def roundtrip():
+        text = storage.dumps(workload.database, workload.catalog)
+        return storage.loads(text)
+
+    database, catalog = benchmark(roundtrip)
+    assert database.total_rows() == workload.database.total_rows()

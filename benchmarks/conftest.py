@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of DESIGN.md's experiments
+(EXPERIMENTS.md records the paper-vs-measured outcome) while measuring
+the hot path with pytest-benchmark.  Every benchmarked function also
+*asserts* the paper's outcome, so a regression in behaviour fails the
+benchmark run rather than silently timing the wrong thing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.paperdb import build_paper_engine
+
+
+@pytest.fixture
+def paper_engine():
+    return build_paper_engine()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Domain scenario: statistics-only access via aggregate views.
+
+The Section 6(2) extension in action: an analyst may learn the total
+budget per sponsor without ever seeing a single project row, while an
+auditor with full row access derives any aggregate for free, and a
+narrowed aggregate request (budgets of large projects only) is refused
+because it is not derivable from the granted statistic.
+
+Run:  python examples/analytics_aggregates.py
+"""
+
+from repro.core import AuthorizationEngine
+from repro.errors import AuthorizationError
+from repro.extensions import AggregateAuthorizer, AggregateFunction
+from repro.extensions.aggregates import AggregateSpec
+from repro.lang.parser import parse_query
+from repro.meta.catalog import PermissionCatalog
+from repro.workloads import build_paper_database
+
+BUDGET_BY_SPONSOR = "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET)"
+
+
+def main() -> None:
+    database = build_paper_database()
+    catalog = PermissionCatalog(database.schema)
+    catalog.define_view(
+        "view ALLP (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)"
+    )
+    catalog.permit("ALLP", "auditor")
+    engine = AuthorizationEngine(database, catalog)
+
+    aggregates = AggregateAuthorizer(engine)
+    aggregates.define("SPEND_BY_SPONSOR", BUDGET_BY_SPONSOR,
+                      AggregateFunction.SUM)
+    aggregates.permit("SPEND_BY_SPONSOR", "analyst")
+
+    print("=== analyst: SUM(BUDGET) by SPONSOR — granted statistic ===")
+    answer = aggregates.authorize(
+        "analyst",
+        AggregateSpec(parse_query(BUDGET_BY_SPONSOR),
+                      AggregateFunction.SUM),
+    )
+    print(answer.render())
+    print()
+
+    print("=== analyst: the underlying rows stay masked ===")
+    rows = engine.authorize("analyst", BUDGET_BY_SPONSOR)
+    print(rows.render())
+    print()
+
+    print("=== analyst: MAX over large projects only — refused ===")
+    try:
+        aggregates.authorize(
+            "analyst",
+            AggregateSpec(
+                parse_query(
+                    "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET) "
+                    "where PROJECT.BUDGET >= 300,000"
+                ),
+                AggregateFunction.MAX,
+            ),
+        )
+    except AuthorizationError as error:
+        print(f"denied: {error}")
+    print()
+
+    print("=== auditor: any aggregate, derived from visible rows ===")
+    answer = aggregates.authorize(
+        "auditor",
+        AggregateSpec(parse_query(BUDGET_BY_SPONSOR),
+                      AggregateFunction.AVG),
+    )
+    print(answer.render())
+
+
+if __name__ == "__main__":
+    main()

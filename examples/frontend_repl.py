@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The Section 6 front end, driven programmatically.
+
+Feeds a scripted session through the interactive REPL: an administrator
+defines a view and grants it, then users retrieve — with the
+meta-relations kept fully transparent, exactly as the paper's closing
+section envisions.  The same REPL serves interactive use via
+``repro-authdb`` / ``python -m repro.cli``.
+
+Run:  python examples/frontend_repl.py
+"""
+
+from repro.cli import Repl
+from repro.workloads import build_paper_engine
+
+SCRIPT = """\
+.user admin
+view TECH (EMPLOYEE.NAME, EMPLOYEE.TITLE) where EMPLOYEE.TITLE = technician
+permit TECH to Kim
+permit (PROJECT.NUMBER, PROJECT.SPONSOR) where PROJECT.SPONSOR = Acme to Kim
+.user Kim
+retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)
+retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)
+.user Brown
+retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) where PROJECT.BUDGET >= 250,000
+.grants
+.meta EMPLOYEE
+"""
+
+
+def main() -> None:
+    repl = Repl(build_paper_engine())
+    for line in SCRIPT.splitlines():
+        print(f"{repl.user}> {line}")
+        output = repl.process_line(line)
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Database instances.
+
+A :class:`Database` binds a :class:`~repro.algebra.schema.DatabaseSchema`
+to one relation instance per scheme (Section 2: "a database instance D
+of the database scheme R is a set of relations R1(D), ..., Rn(D)").
+
+Instances are mutable at the granularity of whole-relation replacement
+and row insertion/deletion; the update-permission extension uses the
+row-level operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.algebra.relation import Relation, Row
+from repro.algebra.schema import DatabaseSchema, RelationSchema
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class Database:
+    """A database schema together with an instance of every relation."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._instances: Dict[str, Relation] = {
+            rel.name: Relation.from_schema(rel, ()) for rel in schema
+        }
+
+    # ------------------------------------------------------------------
+    # schema-level operations
+    # ------------------------------------------------------------------
+
+    def add_relation(self, schema: RelationSchema,
+                     rows: Iterable[Row] = ()) -> None:
+        """Add a new relation scheme and (optionally) its rows."""
+        self.schema.add(schema)
+        self._instances[schema.name] = Relation.from_schema(schema, rows)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of all relations, in registration order."""
+        return self.schema.names()
+
+    def schema_of(self, name: str) -> RelationSchema:
+        """The scheme of relation ``name``."""
+        return self.schema.get(name)
+
+    # ------------------------------------------------------------------
+    # instance-level operations
+    # ------------------------------------------------------------------
+
+    def instance(self, name: str) -> Relation:
+        """The current instance of relation ``name``."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def load(self, name: str, rows: Iterable[Row]) -> None:
+        """Replace the instance of relation ``name`` with ``rows``."""
+        schema = self.schema.get(name)
+        self._instances[name] = Relation.from_schema(schema, rows)
+
+    def insert(self, name: str, row: Row) -> None:
+        """Insert a single row into relation ``name``.
+
+        Inserting a duplicate row is a no-op under set semantics.
+        """
+        current = self.instance(name)
+        schema = self.schema.get(name)
+        self._instances[name] = Relation.from_schema(
+            schema, list(current.rows) + [tuple(row)]
+        )
+
+    def delete(self, name: str, rows: Iterable[Row]) -> int:
+        """Delete ``rows`` from relation ``name``; returns rows removed."""
+        current = self.instance(name)
+        doomed = {tuple(r) for r in rows}
+        remaining = [row for row in current.rows if row not in doomed]
+        removed = current.cardinality - len(remaining)
+        schema = self.schema.get(name)
+        self._instances[name] = Relation.from_schema(schema, remaining)
+        return removed
+
+    def total_rows(self) -> int:
+        """Total row count across all relations."""
+        return sum(rel.cardinality for rel in self._instances.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.schema
+
+    def __iter__(self) -> Iterator[Tuple[str, Relation]]:
+        return iter(self._instances.items())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{rel.cardinality}]" for name, rel in self._instances.items()
+        )
+        return f"Database({parts})"
+
+
+def build_database(
+    schemas: Iterable[RelationSchema],
+    instances: Dict[str, Iterable[Row]],
+) -> Database:
+    """Construct a database from schemes and a row mapping.
+
+    Raises:
+        SchemaError: when ``instances`` mentions an undeclared relation.
+    """
+    db_schema = DatabaseSchema()
+    for schema in schemas:
+        db_schema.add(schema)
+    database = Database(db_schema)
+    for name, rows in instances.items():
+        if name not in db_schema:
+            raise SchemaError(f"instance given for undeclared relation {name!r}")
+        database.load(name, rows)
+    return database

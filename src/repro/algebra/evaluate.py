@@ -1,0 +1,60 @@
+"""Naive PSJ evaluation: products first, then selections, then projection.
+
+This mirrors the operation sequences printed in the paper's Section 5
+examples, step by step, and is the reference implementation the
+optimizer (:mod:`repro.algebra.optimize`) is tested against.  It also
+exposes the intermediate relations so the experiment harness can print
+the same tables the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import List, Tuple
+
+from repro.algebra.database import Database
+from repro.algebra.expression import PSJQuery
+from repro.algebra.relation import Relation
+
+
+@dataclass
+class EvaluationTrace:
+    """Intermediate results of a naive PSJ evaluation.
+
+    Attributes:
+        after_product: the full product of the referenced occurrences.
+        after_selections: the relation after each selection conjunct,
+            in application order (one entry per conjunct).
+        result: the final projected answer.
+    """
+
+    after_product: Relation
+    after_selections: List[Relation]
+    result: Relation
+
+
+def evaluate_naive(query: PSJQuery, database: Database) -> Relation:
+    """Evaluate ``query`` with the products/selections/projection order."""
+    return trace_naive(query, database).result
+
+
+def trace_naive(query: PSJQuery, database: Database) -> EvaluationTrace:
+    """Evaluate ``query`` naively, keeping every intermediate relation."""
+    query.validate(database.schema)
+    operands: Tuple[Relation, ...] = tuple(
+        database.instance(occ.relation) for occ in query.occurrences
+    )
+    product = reduce(Relation.product, operands)
+    # Relabel to the paper's display convention (ATTR or ATTR:k).
+    product = Relation(query.product_columns(database.schema), product.rows,
+                       validate=False)
+
+    after_selections: List[Relation] = []
+    current = product
+    for condition in query.conditions:
+        current = current.select(condition.evaluate)
+        after_selections.append(current)
+
+    result = current.project(query.output)
+    return EvaluationTrace(product, after_selections, result)

@@ -1,0 +1,193 @@
+"""Relation schemes and database schemes (Section 2 of the paper).
+
+A :class:`RelationSchema` is a named, ordered list of attributes, each
+with a domain, plus an optional primary key.  Keys are not part of the
+paper's formal model but are required by the self-join refinement of
+Section 4.2, which demands that combined subviews "can participate in a
+lossless join (for example, both subviews include the key of this
+relation)".
+
+A :class:`DatabaseSchema` is a set of relation schemes indexed by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.algebra.types import Domain
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with an associated domain."""
+
+    name: str
+    domain: Domain
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.domain}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation scheme: a name, attributes, and an optional key.
+
+    Attributes:
+        name: relation name, e.g. ``"EMPLOYEE"``.
+        attributes: ordered attributes of the scheme.
+        key: names of the attributes forming the primary key, or an
+            empty tuple when no key is declared.  The key is only used
+            by the lossless self-join refinement; everything else in the
+            model works without it.
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+    key: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be nonempty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} has no attributes")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+        for key_attr in self.key:
+            if key_attr not in names:
+                raise SchemaError(
+                    f"key attribute {key_attr!r} not in relation {self.name!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        """The number of attributes in the scheme."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """The attribute names, in scheme order."""
+        return tuple(a.name for a in self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        """Report whether ``name`` is an attribute of this scheme."""
+        return any(a.name == name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``.
+
+        Raises:
+            UnknownAttributeError: when the attribute does not exist.
+        """
+        for i, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return i
+        raise UnknownAttributeError(self.name, name)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute named ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def domain_of(self, name: str) -> Domain:
+        """Return the domain of attribute ``name``."""
+        return self.attribute(name).domain
+
+    def key_indices(self) -> Tuple[int, ...]:
+        """Positions of the key attributes (empty when keyless)."""
+        return tuple(self.index_of(k) for k in self.key)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __str__(self) -> str:
+        attrs = ", ".join(a.name for a in self.attributes)
+        return f"{self.name}({attrs})"
+
+
+def make_schema(
+    name: str,
+    attributes: Iterable[Tuple[str, Domain]],
+    key: Iterable[str] = (),
+) -> RelationSchema:
+    """Convenience constructor from ``(name, domain)`` pairs.
+
+    Example:
+        >>> from repro.algebra.types import STRING, INTEGER
+        >>> make_schema("EMPLOYEE", [("NAME", STRING), ("SALARY", INTEGER)],
+        ...             key=["NAME"]).arity
+        2
+    """
+    return RelationSchema(
+        name=name,
+        attributes=tuple(Attribute(n, d) for n, d in attributes),
+        key=tuple(key),
+    )
+
+
+@dataclass
+class DatabaseSchema:
+    """A database scheme: a collection of relation schemes.
+
+    Iteration order is insertion order, which the workload generators
+    rely on for determinism.
+    """
+
+    relations: Dict[str, RelationSchema] = field(default_factory=dict)
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation scheme.
+
+        Raises:
+            SchemaError: when a scheme with the same name exists.
+        """
+        if schema.name in self.relations:
+            raise SchemaError(f"relation {schema.name!r} already in scheme")
+        self.relations[schema.name] = schema
+
+    def get(self, name: str) -> RelationSchema:
+        """Return the scheme of relation ``name``.
+
+        Raises:
+            UnknownRelationError: when no such relation exists.
+        """
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def names(self) -> Tuple[str, ...]:
+        """All relation names, in registration order."""
+        return tuple(self.relations)
+
+
+def qualified_label(relation: str, occurrence: int, attribute: str,
+                    multi: bool = False) -> str:
+    """Render a column label in the paper's display style.
+
+    Single-occurrence relations display as ``NAME``; when a relation
+    appears several times in an expression the paper writes
+    ``EMPLOYEE:1.NAME`` and labels result columns ``NAME:1`` — we follow
+    the same convention via the ``multi`` flag.
+    """
+    if multi:
+        return f"{attribute}:{occurrence}"
+    return attribute

@@ -1,0 +1,37 @@
+"""S8 — comparison baselines and the soundness oracle.
+
+Faithful reimplementations of the two mechanisms the paper contrasts
+with in Section 1 — System R's grant scheme (views as access windows,
+recursive revocation) and INGRES's query modification (single-relation
+permissions, row/column asymmetry) — plus an adapter putting the
+paper's engine behind the same interface, and a non-interference oracle
+that makes the paper's Theorem executable.
+"""
+
+from repro.baselines.ingres import IngresModel, IngresPermission
+from repro.baselines.interface import AuthorizationModel, Decision, Outcome
+from repro.baselines.motro import MotroModel
+from repro.baselines.oracle import (
+    check_non_interference,
+    delivered_view,
+    materialize_view,
+    materialize_views,
+    views_agree,
+)
+from repro.baselines.system_r import Grant, SystemRModel
+
+__all__ = [
+    "AuthorizationModel",
+    "Decision",
+    "Grant",
+    "IngresModel",
+    "IngresPermission",
+    "MotroModel",
+    "Outcome",
+    "SystemRModel",
+    "check_non_interference",
+    "delivered_view",
+    "materialize_view",
+    "materialize_views",
+    "views_agree",
+]

@@ -1,0 +1,193 @@
+"""The INGRES query-modification baseline (Stonebraker & Wong, 1974).
+
+Section 1's second comparator.  Its characteristics, as the paper
+describes them:
+
+* "permissions are granted only for actual relations or views of
+  single relations" — :meth:`IngresModel.permit` accepts a relation,
+  a set of permitted attributes, and a single-relation qualification;
+* the algorithm "searches for permitted views whose attributes contain
+  the attributes addressed by the query, and the qualifications placed
+  on these attributes in the views are then conjoined with the
+  qualification specified in the query";
+* "the algorithm does not handle rows and columns symmetrically": if no
+  permitted view covers every attribute of a relation the query
+  addresses, the whole query is denied rather than reduced — the
+  asymmetry Example E7 reproduces.
+
+When several views of the same relation qualify, their qualifications
+are combined disjunctively (any of them admits the tuple), matching the
+effect of multiple RANGE restrictions in the original proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.algebra.database import Database
+from repro.algebra.expression import AtomicCondition, Col, Const, PSJQuery
+from repro.algebra.optimize import evaluate_optimized
+from repro.algebra.relation import Row
+from repro.baselines.interface import Decision, Outcome
+from repro.calculus.ast import AttrRef, Condition, ConstTerm, Query
+from repro.calculus.to_algebra import compile_query
+from repro.errors import SchemaError
+from repro.lang.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class IngresPermission:
+    """One permitted single-relation view.
+
+    Attributes:
+        relation: the base relation.
+        attributes: attribute names the user may address.
+        conditions: single-relation qualification (conditions whose
+            attribute references all target ``relation``).
+    """
+
+    relation: str
+    attributes: Tuple[str, ...]
+    conditions: Tuple[Condition, ...] = ()
+
+
+class IngresModel:
+    """Query modification over single-relation permissions."""
+
+    name = "INGRES"
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._permissions: Dict[str, List[IngresPermission]] = {}
+
+    # ------------------------------------------------------------------
+    # permissions
+    # ------------------------------------------------------------------
+
+    def permit(self, user: str, relation: str,
+               attributes: Sequence[str],
+               conditions: Sequence[Condition] = ()) -> None:
+        """Grant ``user`` a single-relation view of ``relation``."""
+        schema = self.database.schema.get(relation)
+        for attribute in attributes:
+            schema.index_of(attribute)  # validates
+        for condition in conditions:
+            for ref in condition.attr_refs():
+                if ref.relation != relation:
+                    raise SchemaError(
+                        "INGRES permissions are restricted to views of "
+                        f"single relations; condition {condition} "
+                        f"references {ref.relation}"
+                    )
+                schema.index_of(ref.attribute)
+        self._permissions.setdefault(user, []).append(IngresPermission(
+            relation, tuple(attributes), tuple(conditions)
+        ))
+
+    def permissions_of(self, user: str) -> Tuple[IngresPermission, ...]:
+        return tuple(self._permissions.get(user, ()))
+
+    # ------------------------------------------------------------------
+    # query modification
+    # ------------------------------------------------------------------
+
+    def authorize_query(self, user: str,
+                        query: Union[Query, str]) -> Decision:
+        """Authorize by query modification, or deny outright."""
+        if isinstance(query, str):
+            parsed = parse_statement(query)
+            assert isinstance(parsed, Query)
+            query = parsed
+        schema = self.database.schema
+        plan = compile_query(query, schema)
+
+        # Attributes the query addresses, per relation (over all
+        # occurrences — INGRES's RANGE variables behave alike).
+        addressed: Dict[str, set] = {}
+        for ref in query.attr_refs():
+            addressed.setdefault(ref.relation, set()).add(ref.attribute)
+
+        # For each relation, the permitted views covering the addressed
+        # attributes.  None covering -> the whole query is denied.
+        qualifying: Dict[str, List[IngresPermission]] = {}
+        for relation, attributes in addressed.items():
+            views = [
+                p for p in self.permissions_of(user)
+                if p.relation == relation
+                and attributes <= set(p.attributes)
+            ]
+            if not views:
+                return Decision(
+                    Outcome.DENIED, (), (),
+                    note=(
+                        f"no permitted view of {relation} covers "
+                        f"attributes {', '.join(sorted(attributes))}"
+                    ),
+                )
+            qualifying[relation] = views
+
+        raw = evaluate_optimized(plan, self.database)
+
+        # Conjoin the (disjunctive) view qualifications with the query:
+        # a product row is kept when, for every occurrence, some
+        # qualifying view's conditions hold on that occurrence's values.
+        # Evaluate the unprojected product with the query's conditions,
+        # then test the view qualifications on the full rows.
+        offsets = plan.offsets(schema)
+        wide_plan = PSJQuery(
+            plan.occurrences, plan.conditions,
+            tuple(range(plan.total_width(schema))),
+        )
+        wide = evaluate_optimized(wide_plan, self.database)
+
+        keep_rows: List[Row] = []
+        for row in wide.rows:
+            admitted = all(
+                any(
+                    self._conditions_hold(
+                        p.conditions, occ.relation, row, offsets[occ_index]
+                    )
+                    for p in qualifying[occ.relation]
+                )
+                for occ_index, occ in enumerate(plan.occurrences)
+            )
+            if admitted:
+                keep_rows.append(tuple(row[i] for i in plan.output))
+
+        labels = raw.labels()
+        seen = set()
+        delivered = []
+        for row in keep_rows:
+            if row not in seen:
+                seen.add(row)
+                delivered.append(row)
+
+        if set(delivered) != set(raw.rows):
+            outcome = Outcome.PARTIAL
+            note = "query modified by view qualifications"
+        else:
+            outcome = Outcome.FULL
+            note = "query within permissions"
+        return Decision(outcome, labels, tuple(delivered), note)
+
+    def _conditions_hold(self, conditions: Sequence[Condition],
+                         relation: str, row: Row, offset: int) -> bool:
+        schema = self.database.schema.get(relation)
+        for condition in conditions:
+            atomic = _to_atomic(condition, schema, offset)
+            if not atomic.evaluate(row):
+                return False
+        return True
+
+
+def _to_atomic(condition: Condition, schema, offset: int) -> AtomicCondition:
+    def operand(term):
+        if isinstance(term, AttrRef):
+            return Col(offset + schema.index_of(term.attribute))
+        assert isinstance(term, ConstTerm)
+        return Const(term.value)
+
+    return AtomicCondition(
+        operand(condition.lhs), condition.op, operand(condition.rhs)
+    )

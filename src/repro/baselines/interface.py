@@ -1,0 +1,72 @@
+"""Common interface for the comparison baselines.
+
+The paper's Section 1 contrasts its model with two authorization
+mechanisms: System R's grant scheme [Griffiths & Wade 1976] and
+INGRES's query modification [Stonebraker & Wong 1974].  To compare the
+three on equal footing, every model implements
+:class:`AuthorizationModel`: given a user and a conjunctive query over
+the *base* relations, return a :class:`Decision` saying what portion of
+the answer is delivered.
+
+Decisions carry the delivered rows in the same masked-cell format the
+Motro engine uses, so the coverage experiments can count delivered
+cells uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol, Tuple, Union
+
+from repro.calculus.ast import Query
+
+
+class Outcome(enum.Enum):
+    """Coarse classification of an authorization decision."""
+
+    DENIED = "denied"          # nothing delivered
+    FULL = "full"              # the whole answer delivered
+    PARTIAL = "partial"        # a reduced/masked answer delivered
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of one authorization request.
+
+    Attributes:
+        outcome: coarse result.
+        labels: columns of the delivered relation (empty when denied).
+        delivered: delivered rows; masked cells hold
+            :data:`repro.core.mask.MASKED`.
+        note: a one-line explanation (which rule fired).
+    """
+
+    outcome: Outcome
+    labels: Tuple[str, ...]
+    delivered: Tuple[Tuple, ...]
+    note: str = ""
+
+    @property
+    def delivered_cells(self) -> int:
+        from repro.core.mask import MASKED
+
+        return sum(
+            1 for row in self.delivered for value in row
+            if value is not MASKED
+        )
+
+
+class AuthorizationModel(Protocol):
+    """A model that can authorize conjunctive base-relation queries."""
+
+    #: Display name used in comparison tables.
+    name: str
+
+    def authorize_query(self, user: str,
+                        query: Union[Query, str]) -> Decision:
+        """Authorize ``query`` for ``user`` and deliver what is allowed."""
+        ...

@@ -1,0 +1,33 @@
+"""The paper's model wrapped in the comparison interface."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.baselines.interface import Decision, Outcome
+from repro.calculus.ast import Query
+from repro.core.engine import AuthorizationEngine
+
+
+class MotroModel:
+    """Adapter: :class:`AuthorizationEngine` as a comparison baseline."""
+
+    name = "Motro"
+
+    def __init__(self, engine: AuthorizationEngine):
+        self.engine = engine
+
+    def authorize_query(self, user: str,
+                        query: Union[Query, str]) -> Decision:
+        answer = self.engine.authorize(user, query)
+        stats = answer.stats()
+        if stats.delivered_cells == 0:
+            outcome = Outcome.DENIED
+            note = "mask empty: nothing within permissions"
+        elif answer.is_fully_delivered:
+            outcome = Outcome.FULL
+            note = "mask covers the whole answer"
+        else:
+            outcome = Outcome.PARTIAL
+            note = "answer masked to the permitted subviews"
+        return Decision(outcome, answer.labels, answer.delivered, note)

@@ -1,0 +1,120 @@
+"""The soundness oracle.
+
+The paper's Theorem guarantees that every view in A' is a view of the
+permitted views V1..Vm.  The semantic consequence — and the property a
+security reviewer actually cares about — is *non-interference*: if two
+database instances agree on every view the user is permitted to access,
+the authorization process must deliver indistinguishable answers.  Any
+difference would prove the user learned something not derivable from
+the permitted views.
+
+This module makes that property executable:
+
+* :func:`materialize_view` / :func:`materialize_views` — evaluate
+  permitted views over an instance;
+* :func:`views_agree` — do two instances agree on a user's views?
+* :func:`delivered_view` — the information content of a delivery
+  (the *set* of delivered rows; see the multiplicity note below);
+* :func:`check_non_interference` — the end-to-end oracle.
+
+Multiplicity caveat: the paper delivers the answer's tuples with masked
+values.  Two answer tuples that differ only in masked cells deliver the
+same visible row, but their *count* still reveals that the hidden cells
+differ — an inherent property of cell-masking presentations, not of the
+mask derivation.  The oracle therefore compares delivered row *sets*,
+which is exactly the information content of the permitted subviews the
+Theorem speaks about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
+
+from repro.algebra.database import Database
+from repro.algebra.optimize import evaluate_optimized
+from repro.algebra.relation import Relation
+from repro.calculus.ast import Query
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.answer import AuthorizedAnswer
+from repro.core.engine import AuthorizationEngine
+from repro.meta.catalog import PermissionCatalog
+
+
+def materialize_view(catalog: PermissionCatalog, name: str,
+                     database: Database) -> Relation:
+    """Evaluate view ``name`` over ``database``."""
+    normalized = catalog.view(name).normalized
+    plan = normalized.materialization_psj(database.schema)
+    return evaluate_optimized(plan, database)
+
+
+def materialize_views(catalog: PermissionCatalog, names: Iterable[str],
+                      database: Database) -> Dict[str, Relation]:
+    """Evaluate several views over ``database``."""
+    return {
+        name: materialize_view(catalog, name, database) for name in names
+    }
+
+
+def views_agree(catalog: PermissionCatalog, user: str,
+                first: Database, second: Database) -> bool:
+    """Do the two instances agree on every view permitted to ``user``?"""
+    for name in catalog.views_of(user):
+        left = materialize_view(catalog, name, first)
+        right = materialize_view(catalog, name, second)
+        if not left.same_rows(right):
+            return False
+    return True
+
+
+def delivered_view(answer: AuthorizedAnswer) -> FrozenSet[Tuple]:
+    """The information content of a delivery: its set of visible rows.
+
+    Fully masked rows carry no information beyond the multiplicity
+    caveat discussed in the module docstring and are dropped.
+    """
+    from repro.core.mask import MASKED
+
+    rows = set()
+    for row in answer.delivered:
+        if all(value is MASKED for value in row):
+            continue
+        rows.add(tuple(
+            "#" if value is MASKED else value for value in row
+        ))
+    return frozenset(rows)
+
+
+def check_non_interference(
+    catalog: PermissionCatalog,
+    user: str,
+    query: Union[Query, str],
+    first: Database,
+    second: Database,
+    config: EngineConfig = DEFAULT_CONFIG,
+) -> Tuple[bool, str]:
+    """The end-to-end soundness check.
+
+    Returns ``(ok, detail)``.  When the two instances agree on the
+    user's permitted views, the deliveries must be equal; a mismatch is
+    reported with both sides.  Instances that disagree on the views are
+    vacuously fine (the check does not apply).
+    """
+    if not views_agree(catalog, user, first, second):
+        return True, "instances differ on permitted views; check vacuous"
+
+    first_answer = AuthorizationEngine(first, catalog, config) \
+        .authorize(user, query)
+    second_answer = AuthorizationEngine(second, catalog, config) \
+        .authorize(user, query)
+
+    left = delivered_view(first_answer)
+    right = delivered_view(second_answer)
+    if left == right:
+        return True, "deliveries agree"
+    only_left = sorted(map(str, left - right))
+    only_right = sorted(map(str, right - left))
+    return False, (
+        "NON-INTERFERENCE VIOLATION: "
+        f"only in first: {only_left}; only in second: {only_right}"
+    )

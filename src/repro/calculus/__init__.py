@@ -1,0 +1,51 @@
+"""S2 — the conjunctive calculus layer.
+
+ASTs for views and queries in the paper's surface form, safety/type
+checking, Section 3's normalization (equality substitution, variable
+classes, blanks and stars), and compilation to PSJ algebra plans.
+"""
+
+from repro.calculus.ast import (
+    AttrRef,
+    Condition,
+    ConstTerm,
+    Query,
+    Term,
+    ViewDefinition,
+)
+from repro.calculus.containment import are_equivalent, is_contained_in
+from repro.calculus.normalize import (
+    BLANK,
+    BlankContent,
+    CellContent,
+    ConstContent,
+    NormalizedCell,
+    NormalizedView,
+    VarContent,
+    normalize_view,
+)
+from repro.calculus.safety import check_expression, collect_occurrences
+from repro.calculus.to_algebra import compile_query, compile_view
+
+__all__ = [
+    "AttrRef",
+    "BLANK",
+    "BlankContent",
+    "CellContent",
+    "Condition",
+    "ConstContent",
+    "ConstTerm",
+    "NormalizedCell",
+    "NormalizedView",
+    "Query",
+    "Term",
+    "VarContent",
+    "ViewDefinition",
+    "are_equivalent",
+    "check_expression",
+    "is_contained_in",
+    "collect_occurrences",
+    "compile_query",
+    "compile_view",
+    "normalize_view",
+]

@@ -1,0 +1,170 @@
+"""ASTs for conjunctive views and queries (Section 2).
+
+The paper's surface form for both views and queries is a target list of
+attribute references plus a conjunction of conditions::
+
+    view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+    where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+    and PROJECT.NUMBER = ASSIGNMENT.P_NO
+    and PROJECT.BUDGET >= 250000
+
+Multiple occurrences of a relation are written ``EMPLOYEE:1``,
+``EMPLOYEE:2`` (the EST view).  This corresponds exactly to the
+conjunctive domain-calculus family of Section 2: membership subformulas
+arise from the relation occurrences mentioned, and the existential
+variables are implicit (any attribute not mentioned is existentially
+quantified away — the paper's single-occurrence variables that the
+encoding turns into blanks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+from repro.algebra.types import Value
+from repro.predicates.comparators import Comparator
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to an attribute of a relation occurrence."""
+
+    relation: str
+    attribute: str
+    occurrence: int = 1
+
+    def occurrence_key(self) -> Tuple[str, int]:
+        return (self.relation, self.occurrence)
+
+    def render(self, show_occurrence: bool = False) -> str:
+        if show_occurrence or self.occurrence != 1:
+            return f"{self.relation}:{self.occurrence}.{self.attribute}"
+        return f"{self.relation}.{self.attribute}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class ConstTerm:
+    """A constant operand in a condition."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int) and abs(self.value) >= 10_000:
+            return f"{self.value:,}"
+        return str(self.value)
+
+
+Term = Union[AttrRef, ConstTerm]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One conjunct: ``lhs op rhs``.
+
+    At least one side must be an :class:`AttrRef`; the safety checker
+    enforces this (a constant-to-constant comparison carries no binding
+    and is rejected, mirroring the paper's requirement that every
+    variable appear among the membership subformulas).
+    """
+
+    lhs: Term
+    op: Comparator
+    rhs: Term
+
+    def attr_refs(self) -> Tuple[AttrRef, ...]:
+        refs = []
+        if isinstance(self.lhs, AttrRef):
+            refs.append(self.lhs)
+        if isinstance(self.rhs, AttrRef):
+            refs.append(self.rhs)
+        return tuple(refs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A retrieve statement: target list plus conjunctive conditions."""
+
+    target: Tuple[AttrRef, ...]
+    conditions: Tuple[Condition, ...] = ()
+
+    def attr_refs(self) -> Tuple[AttrRef, ...]:
+        """Every attribute reference, target first then conditions."""
+        refs = list(self.target)
+        for condition in self.conditions:
+            refs.extend(condition.attr_refs())
+        return tuple(refs)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset(ref.relation for ref in self.attr_refs())
+
+    def __str__(self) -> str:
+        multi = _multi_occurrence_relations(self)
+        head = ", ".join(
+            t.render(t.relation in multi) for t in self.target
+        )
+        text = f"retrieve ({head})"
+        if self.conditions:
+            text += " where " + " and ".join(
+                _render_condition(c, multi) for c in self.conditions
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A view statement: a named conjunctive query."""
+
+    name: str
+    target: Tuple[AttrRef, ...]
+    conditions: Tuple[Condition, ...] = ()
+
+    def as_query(self) -> Query:
+        """The same expression as an anonymous query."""
+        return Query(self.target, self.conditions)
+
+    def attr_refs(self) -> Tuple[AttrRef, ...]:
+        return self.as_query().attr_refs()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.as_query().relation_names()
+
+    def __str__(self) -> str:
+        multi = _multi_occurrence_relations(self)
+        head = ", ".join(
+            t.render(t.relation in multi) for t in self.target
+        )
+        text = f"view {self.name} ({head})"
+        if self.conditions:
+            text += " where " + " and ".join(
+                _render_condition(c, multi) for c in self.conditions
+            )
+        return text
+
+
+def _multi_occurrence_relations(
+    expr: Union[Query, ViewDefinition]
+) -> FrozenSet[str]:
+    """Relations appearing under more than one occurrence index."""
+    seen = {}
+    multi = set()
+    for ref in expr.attr_refs():
+        previous = seen.setdefault(ref.relation, ref.occurrence)
+        if previous != ref.occurrence:
+            multi.add(ref.relation)
+    return frozenset(multi)
+
+
+def _render_condition(condition: Condition, multi: FrozenSet[str]) -> str:
+    def side(term: Term) -> str:
+        if isinstance(term, AttrRef):
+            return term.render(term.relation in multi)
+        return str(term)
+
+    return f"{side(condition.lhs)} {condition.op} {side(condition.rhs)}"

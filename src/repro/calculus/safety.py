@@ -1,0 +1,108 @@
+"""Safety and type checking for conjunctive expressions.
+
+Section 2 restricts views and queries to *safe* conjunctive
+expressions: every head variable must appear in a membership
+subformula, comparisons must relate variables that so appear (or
+constants), and all values must come from compatible domains.  In the
+surface form those conditions translate to the checks implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.algebra.expression import Occurrence
+from repro.algebra.schema import DatabaseSchema
+from repro.algebra.types import Domain, domain_of_value
+from repro.calculus.ast import (
+    AttrRef,
+    Condition,
+    ConstTerm,
+    Query,
+    ViewDefinition,
+)
+from repro.errors import SafetyError, TypeMismatchError
+
+Expression = Union[Query, ViewDefinition]
+
+
+def collect_occurrences(expression: Expression) -> Tuple[Occurrence, ...]:
+    """All relation occurrences, in first-mention order.
+
+    First-mention order scans the target list and then the conditions,
+    which reproduces the operand order of the paper's example plans
+    (Example 2 mentions EMPLOYEE in the target and then ASSIGNMENT and
+    PROJECT in the qualification, giving EMPLOYEE x ASSIGNMENT x
+    PROJECT).
+    """
+    seen: Dict[Tuple[str, int], None] = {}
+    for ref in expression.attr_refs():
+        seen.setdefault(ref.occurrence_key())
+    return tuple(Occurrence(rel, occ) for rel, occ in seen)
+
+
+def check_expression(expression: Expression,
+                     schema: DatabaseSchema) -> Tuple[Occurrence, ...]:
+    """Validate ``expression`` against ``schema``.
+
+    Returns the occurrence list on success.
+
+    Raises:
+        SafetyError: structural violations (empty target, occurrence
+            gaps, constant-only conditions).
+        UnknownRelationError / UnknownAttributeError: dangling names.
+        TypeMismatchError: cross-domain comparisons.
+    """
+    if not expression.target:
+        raise SafetyError("target list must not be empty")
+
+    for ref in expression.attr_refs():
+        rel_schema = schema.get(ref.relation)
+        if not rel_schema.has_attribute(ref.attribute):
+            # index_of raises the canonical error
+            rel_schema.index_of(ref.attribute)
+        if ref.occurrence < 1:
+            raise SafetyError(
+                f"occurrence index must be >= 1, got {ref.occurrence} "
+                f"for {ref.relation}"
+            )
+
+    occurrences = collect_occurrences(expression)
+
+    # Occurrence indices of each relation must be contiguous from 1,
+    # matching the paper's EMPLOYEE:1 / EMPLOYEE:2 notation.
+    by_relation: Dict[str, List[int]] = {}
+    for occ in occurrences:
+        by_relation.setdefault(occ.relation, []).append(occ.occurrence)
+    for relation, indices in by_relation.items():
+        if sorted(indices) != list(range(1, len(indices) + 1)):
+            raise SafetyError(
+                f"occurrence indices of {relation!r} must be contiguous "
+                f"from 1, got {sorted(indices)}"
+            )
+
+    for condition in expression.conditions:
+        _check_condition(condition, schema)
+
+    return occurrences
+
+
+def _check_condition(condition: Condition, schema: DatabaseSchema) -> None:
+    if not condition.attr_refs():
+        raise SafetyError(
+            f"condition {condition} relates two constants; every "
+            "comparison must involve an attribute"
+        )
+    left = _domain_of_term(condition.lhs, schema)
+    right = _domain_of_term(condition.rhs, schema)
+    if not left.comparable_with(right):
+        raise TypeMismatchError(
+            f"condition {condition} compares {left} with {right}"
+        )
+
+
+def _domain_of_term(term, schema: DatabaseSchema) -> Domain:
+    if isinstance(term, AttrRef):
+        return schema.get(term.relation).domain_of(term.attribute)
+    assert isinstance(term, ConstTerm)
+    return domain_of_value(term.value)

@@ -1,0 +1,65 @@
+"""Compiling queries to PSJ plans.
+
+"Let S be the relational algebra expression that implements Q" — for a
+conjunctive query that expression is a product of the referenced
+occurrences, one selection per condition, and a final projection
+(Section 4.1's products-first strategy).  :func:`compile_query`
+produces exactly that plan; the conditions keep the order the user
+wrote them, which makes engine traces line up with the paper's
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    PSJQuery,
+)
+from repro.algebra.schema import DatabaseSchema
+from repro.calculus.ast import AttrRef, ConstTerm, Query, ViewDefinition
+from repro.calculus.safety import check_expression
+
+
+def compile_query(query: Query, schema: DatabaseSchema) -> PSJQuery:
+    """Compile a retrieve statement into a PSJ plan."""
+    occurrences = check_expression(query, schema)
+
+    offsets: Dict[Tuple[str, int], int] = {}
+    width = 0
+    for occ in occurrences:
+        offsets[(occ.relation, occ.occurrence)] = width
+        width += schema.get(occ.relation).arity
+
+    def position_of(ref: AttrRef) -> int:
+        return offsets[ref.occurrence_key()] \
+            + schema.get(ref.relation).index_of(ref.attribute)
+
+    conditions: List[AtomicCondition] = []
+    for condition in query.conditions:
+        lhs, rhs, op = condition.lhs, condition.rhs, condition.op
+        # Orient a leading constant to the right, flipping the operator.
+        if isinstance(lhs, ConstTerm) and isinstance(rhs, AttrRef):
+            lhs, rhs, op = rhs, lhs, op.flipped()
+        left = Col(position_of(lhs)) if isinstance(lhs, AttrRef) \
+            else Const(lhs.value)
+        right = Col(position_of(rhs)) if isinstance(rhs, AttrRef) \
+            else Const(rhs.value)
+        conditions.append(AtomicCondition(left, op, right))
+
+    output = tuple(position_of(ref) for ref in query.target)
+    plan = PSJQuery(
+        occurrences=occurrences,
+        conditions=tuple(conditions),
+        output=output,
+    )
+    plan.validate(schema)
+    return plan
+
+
+def compile_view(view: ViewDefinition, schema: DatabaseSchema) -> PSJQuery:
+    """Compile a view statement's defining query into a PSJ plan."""
+    return compile_query(view.as_query(), schema)

@@ -1,0 +1,238 @@
+"""S12 — the interactive front end of Section 6.
+
+``repro-authdb`` (or ``python -m repro.cli``) starts a small REPL over
+one of the bundled databases.  Users issue the paper's statements —
+``view``, ``permit`` (named or anonymous ``permit (R.A, ...) where ...
+to U``), ``revoke``, ``retrieve``, plus the Section 6(1) updates
+``insert into`` / ``delete from`` / ``modify ... set`` — and receive
+masked relations plus inferred permit statements, with the
+meta-relations kept completely transparent, exactly as Section 6
+envisions.
+
+Dot-commands inspect the machinery:
+
+    .user NAME              act as NAME
+    .tables                 list relations and row counts
+    .views                  list defined views
+    .grants                 show the PERMISSION relation
+    .meta RELATION          show a meta-relation (Figure 1 style)
+    .trace                  toggle mask-derivation traces
+    .explain retrieve ...   full paper-style derivation trace
+    .save FILE / .load FILE persist or restore database + permissions
+    .audit                  show the audit trail (when enabled)
+    .help / .quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, TextIO
+
+from repro.core.engine import AuthorizationEngine
+from repro.core.session import FrontEnd
+from repro.errors import ReproError
+from repro.experiments.tables import (
+    figure1_table,
+    mask_table,
+    permission_table,
+)
+from repro.workloads.paperdb import build_paper_engine
+from repro.workloads.scenarios import corporate_scenario, hospital_scenario
+
+BUILTIN_DATABASES: Dict[str, Callable[[], AuthorizationEngine]] = {
+    "paper": build_paper_engine,
+    "hospital": lambda: hospital_scenario().engine,
+    "corporate": lambda: corporate_scenario().engine,
+}
+
+
+class Repl:
+    """Line-oriented front end; pure functions of input lines, so the
+    same class drives the terminal and the tests."""
+
+    def __init__(self, engine: AuthorizationEngine, user: str = "admin"):
+        self.engine = engine
+        self.front_end = FrontEnd(engine)
+        self.user = user
+        self.trace = False
+        self.done = False
+
+    # ------------------------------------------------------------------
+
+    def process_line(self, line: str) -> str:
+        """Process one input line and return the text to display."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return ""
+        if line.startswith("."):
+            return self._dot_command(line)
+        try:
+            result = self.front_end.execute(line, self.user)
+        except ReproError as error:
+            return f"error: {error}"
+        output = result.message
+        if self.trace and result.answer is not None:
+            derivation = result.answer.derivation
+            assert derivation.mask is not None
+            output += "\n\n-- mask (A') --\n"
+            output += mask_table(derivation.mask)
+        return output
+
+    # ------------------------------------------------------------------
+
+    def _dot_command(self, line: str) -> str:
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command == ".quit":
+            self.done = True
+            return "bye"
+        if command == ".help":
+            return __doc__ or ""
+        if command == ".user":
+            if not args:
+                return f"current user: {self.user}"
+            self.user = args[0]
+            return f"acting as {self.user}"
+        if command == ".trace":
+            self.trace = not self.trace
+            return f"trace {'on' if self.trace else 'off'}"
+        if command == ".tables":
+            lines = [
+                f"{name}: {relation.cardinality} rows"
+                for name, relation in self.engine.database
+            ]
+            return "\n".join(lines)
+        if command == ".views":
+            names = self.engine.catalog.view_names()
+            if not names:
+                return "(no views defined)"
+            return "\n".join(
+                str(self.engine.catalog.view(name).definition)
+                for name in names
+            )
+        if command == ".grants":
+            return permission_table(self.engine.catalog)
+        if command == ".meta":
+            if not args:
+                return "usage: .meta RELATION"
+            try:
+                return figure1_table(
+                    self.engine.database, self.engine.catalog, args[0]
+                )
+            except ReproError as error:
+                return f"error: {error}"
+        if command == ".explain":
+            from repro.core.explain import explain
+
+            statement = line[len(".explain"):].strip()
+            if not statement:
+                return "usage: .explain retrieve (...) [where ...]"
+            try:
+                return explain(self.engine, self.user, statement)
+            except ReproError as error:
+                return f"error: {error}"
+        if command == ".save":
+            if not args:
+                return "usage: .save FILE"
+            from repro import storage
+
+            try:
+                storage.dump(self.engine.database, self.engine.catalog,
+                             args[0])
+            except OSError as error:
+                return f"error: {error}"
+            return f"saved to {args[0]}"
+        if command == ".load":
+            if not args:
+                return "usage: .load FILE"
+            from repro import storage
+            from repro.core.engine import AuthorizationEngine
+
+            try:
+                database, catalog = storage.load(args[0])
+            except (OSError, ReproError, ValueError) as error:
+                return f"error: {error}"
+            self.engine = AuthorizationEngine(
+                database, catalog, self.engine.config,
+                audit=self.engine.audit,
+            )
+            self.front_end = type(self.front_end)(self.engine)
+            return f"loaded {args[0]}"
+        if command == ".audit":
+            if self.engine.audit is None:
+                return "audit trail not enabled (start with --audit)"
+            return self.engine.audit.report()
+        return f"unknown command {command}; try .help"
+
+
+def run_repl(engine: AuthorizationEngine, user: str,
+             stdin: TextIO, stdout: TextIO) -> int:
+    """Drive a REPL over the given streams; returns an exit code."""
+    repl = Repl(engine, user)
+    interactive = stdin.isatty()
+    if interactive:
+        stdout.write(
+            "repro-authdb — Motro (ICDE 1989) authorization front end\n"
+            "type statements (view/permit/retrieve) or .help\n"
+        )
+    while not repl.done:
+        if interactive:
+            stdout.write(f"{repl.user}> ")
+            stdout.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        output = repl.process_line(line)
+        if output:
+            stdout.write(output + "\n")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-authdb",
+        description="Interactive authorization front end (Section 6).",
+    )
+    parser.add_argument(
+        "--db", choices=sorted(BUILTIN_DATABASES), default="paper",
+        help="bundled database to load (default: paper)",
+    )
+    parser.add_argument(
+        "--user", default="admin", help="initial acting user",
+    )
+    parser.add_argument(
+        "--execute", metavar="FILE",
+        help="run statements from FILE instead of stdin",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="record an audit trail (inspect with .audit)",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="FILE",
+        help="load a saved database + permissions instead of --db",
+    )
+    options = parser.parse_args(argv)
+
+    if options.snapshot:
+        from repro import storage
+        from repro.core.engine import AuthorizationEngine
+
+        database, catalog = storage.load(options.snapshot)
+        engine = AuthorizationEngine(database, catalog)
+    else:
+        engine = BUILTIN_DATABASES[options.db]()
+    if options.audit:
+        from repro.core.audit import AuditLog
+
+        engine.audit = AuditLog()
+    if options.execute:
+        with open(options.execute, encoding="utf-8") as handle:
+            return run_repl(engine, options.user, handle, sys.stdout)
+    return run_repl(engine, options.user, sys.stdin, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Engine configuration.
+
+:class:`EngineConfig` collects every behavioural switch of the
+authorization engine in one frozen dataclass.  The defaults implement
+the full model of the paper: base Definitions 1-3 plus all three
+Section 4.2 refinements.  Each switch exists so the ablation
+experiments (DESIGN.md E9/E11) can measure the contribution of the
+corresponding refinement, and so the base model can be studied in
+isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Behavioural switches for mask derivation and delivery.
+
+    Attributes:
+        refine_selection: apply the four-case analysis of Section 4.2
+            (clear / retain / conjoin / discard) during meta-selection.
+            When False, selection follows Definition 2 literally and
+            always conjoins the query predicate into the meta-tuple.
+        product_padding: extend meta-products with blank-padded tuples
+            ``(a1..am, ⊔..⊔)`` and ``(⊔..⊔, b1..bn)`` so subviews of one
+            operand survive projections that remove the other operand's
+            attributes (first refinement of Section 4.2).
+        self_joins: infer additional subviews by losslessly joining
+            meta-tuples of different views stored in the same
+            meta-relation (third refinement of Section 4.2).
+        existential_closure: keep a product row whose variable refers to
+            a meta-tuple outside the row when that missing meta-tuple is
+            subsumed by one present in the row.  This is an extension
+            beyond the paper (see ``repro.extensions.closure``); the
+            paper prunes all such rows.
+        require_star_for_selection: Definition 2 only selects meta-tuples
+            whose referenced cells are starred.  The refined engine
+            always admits the *provably sound* unstarred outcomes
+            (mu implies lambda: retain; mu equivalent to lambda: clear)
+            — see ``repro.metaalgebra.selection``.  Setting this flag to
+            False additionally clears unstarred cells whenever lambda
+            implies mu, which delivers query-predicate-selected subsets
+            of views (INGRES-flavoured, violates the strict Theorem and
+            the non-interference property); it exists for the
+            Section 6(3) experiments only.  The sound default is True.
+        dedupe: remove replicated meta-tuples after products, as the
+            paper does in its Example 2 and 3 tables.
+        prune_dangling: after products, drop rows that still reference
+            meta-tuples outside the row (Section 4.1's pruning).  Only
+            disable this for displaying intermediate tables; masks
+            derived without pruning are not sound.
+        drop_fully_masked_rows: omit answer rows in which every cell is
+            masked from the delivered relation.  The paper's examples
+            mask cell-wise; dropping empty rows is presentation sugar.
+        max_selfjoin_rounds: fixpoint bound for the self-join closure.
+        max_selfjoin_tuples: cap on combined tuples per meta-relation.
+            The closure is worst-case exponential in the number of
+            pairwise-joinable views; the cap keeps pathological catalogs
+            tractable (dropping combinations is always sound — it only
+            costs completeness).
+    """
+
+    refine_selection: bool = True
+    product_padding: bool = True
+    self_joins: bool = True
+    existential_closure: bool = False
+    require_star_for_selection: bool = True
+    dedupe: bool = True
+    prune_dangling: bool = True
+    drop_fully_masked_rows: bool = False
+    max_selfjoin_rounds: int = 4
+    max_selfjoin_tuples: int = 64
+
+    def but(self, **changes: Any) -> "EngineConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+#: The configuration used throughout the paper's examples.
+DEFAULT_CONFIG = EngineConfig()
+
+#: Definitions 1-3 only, with none of the Section 4.2 refinements.
+BASE_MODEL_CONFIG = EngineConfig(
+    refine_selection=False,
+    product_padding=False,
+    self_joins=False,
+    existential_closure=False,
+)

@@ -1,0 +1,45 @@
+"""S7 — the authorization engine (the paper's contribution).
+
+Masks and their application to answers, inferred permit statements,
+authorized answers with delivery statistics, the engine tying the data
+path and the meta path together (Figure 2), and the Section 6 front
+end.
+"""
+
+from repro.core.answer import AuthorizedAnswer, DeliveryStats
+from repro.core.audit import AuditLog, AuditRecord
+from repro.core.engine import AuthorizationEngine
+from repro.core.explain import explain
+from repro.core.mask import (
+    MASKED,
+    Mask,
+    MaskedValue,
+    materialize_meta_tuple,
+    meta_tuple_matches,
+)
+from repro.core.session import FrontEnd, FrontEndResult, Session
+from repro.core.statements import (
+    InferredPermit,
+    infer_permits,
+    render_permits,
+)
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "AuthorizationEngine",
+    "AuthorizedAnswer",
+    "DeliveryStats",
+    "FrontEnd",
+    "FrontEndResult",
+    "InferredPermit",
+    "MASKED",
+    "Mask",
+    "MaskedValue",
+    "Session",
+    "explain",
+    "infer_permits",
+    "materialize_meta_tuple",
+    "meta_tuple_matches",
+    "render_permits",
+]

@@ -1,0 +1,124 @@
+"""Authorized answers: the engine's result object.
+
+The front end of Section 6 returns "a derived relation, whose structure
+corresponds to the request but whose tuples include only permitted
+values, and a set of inferred permit statements describing the portion
+delivered" — :class:`AuthorizedAnswer` is that pair, plus the raw
+answer, the mask, the derivation trace, and delivery statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.algebra.expression import PSJQuery
+from repro.algebra.relation import Relation
+from repro.calculus.ast import Query
+from repro.core.mask import MASKED, Mask
+from repro.core.statements import InferredPermit
+from repro.metaalgebra.plan import MaskDerivation
+
+
+@dataclass(frozen=True)
+class DeliveryStats:
+    """Cell- and row-level accounting of one delivery."""
+
+    total_rows: int
+    total_cells: int
+    delivered_cells: int
+    full_rows: int
+    partial_rows: int
+    masked_rows: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.total_cells == 0:
+            return 1.0
+        return self.delivered_cells / self.total_cells
+
+
+@dataclass(frozen=True)
+class AuthorizedAnswer:
+    """Everything the engine returns for one retrieve statement."""
+
+    user: str
+    query: Query
+    plan: PSJQuery
+    answer: Relation
+    mask: Mask
+    delivered: Tuple[Tuple, ...]
+    permits: Tuple[InferredPermit, ...]
+    derivation: MaskDerivation
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return self.answer.labels()
+
+    @property
+    def is_fully_delivered(self) -> bool:
+        return all(
+            all(value is not MASKED for value in row)
+            for row in self.delivered
+        ) and len(self.delivered) == self.answer.cardinality
+
+    @property
+    def is_fully_masked(self) -> bool:
+        return all(
+            all(value is MASKED for value in row) for row in self.delivered
+        )
+
+    def stats(self) -> DeliveryStats:
+        total_rows = len(self.delivered)
+        arity = self.answer.arity
+        delivered_cells = 0
+        full_rows = partial_rows = masked_rows = 0
+        for row in self.delivered:
+            visible = sum(1 for value in row if value is not MASKED)
+            delivered_cells += visible
+            if visible == arity:
+                full_rows += 1
+            elif visible == 0:
+                masked_rows += 1
+            else:
+                partial_rows += 1
+        return DeliveryStats(
+            total_rows=total_rows,
+            total_cells=total_rows * arity,
+            delivered_cells=delivered_cells,
+            full_rows=full_rows,
+            partial_rows=partial_rows,
+            masked_rows=masked_rows,
+        )
+
+    def render(self) -> str:
+        """The delivered relation plus permit statements, as text."""
+        lines = [self._render_table()]
+        if self.permits:
+            lines.append("")
+            lines.extend(p.render() for p in self.permits)
+        elif not self.mask.is_empty:
+            lines.append("")
+            lines.append("-- delivered in full, no permit statements required")
+        return "\n".join(lines)
+
+    def _render_table(self) -> str:
+        labels = self.labels
+        rows: List[Tuple[str, ...]] = [
+            tuple(str(value) for value in row) for row in self.delivered
+        ]
+        widths = [len(label) for label in labels]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Tuple[str, ...]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        header = line(tuple(labels))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [line(row) for row in rows]
+        return "\n".join([header, rule] + body)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,125 @@
+"""Audit log for authorization decisions.
+
+Real access-control deployments need to answer "who asked for what and
+what did they get".  An :class:`AuditLog` attached to an engine records
+one :class:`AuditRecord` per retrieval — the acting user, the statement,
+the views consulted, and the delivery statistics — and can render an
+activity report or per-user summaries.
+
+The log stores no data values, only shapes, so the audit trail itself
+never widens anyone's access.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.answer import AuthorizedAnswer, DeliveryStats
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One authorized retrieval, shape only."""
+
+    sequence: int
+    user: str
+    statement: str
+    admissible_views: Tuple[str, ...]
+    stats: DeliveryStats
+    permit_statements: Tuple[str, ...]
+
+    @property
+    def outcome(self) -> str:
+        if self.stats.delivered_cells == 0:
+            return "denied"
+        if self.stats.delivered_cells == self.stats.total_cells:
+            return "full"
+        return "partial"
+
+
+class AuditLog:
+    """An append-only, in-memory audit trail."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        #: Oldest records are dropped beyond ``capacity`` (None = keep all).
+        self.capacity = capacity
+        self._records: List[AuditRecord] = []
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, answer: AuthorizedAnswer) -> AuditRecord:
+        """Append a record for ``answer`` and return it."""
+        entry = AuditRecord(
+            sequence=next(self._counter),
+            user=answer.user,
+            statement=str(answer.query),
+            admissible_views=answer.derivation.admissible_views,
+            stats=answer.stats(),
+            permit_statements=tuple(str(p) for p in answer.permits),
+        )
+        self._records.append(entry)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[0:len(self._records) - self.capacity]
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries over the trail
+    # ------------------------------------------------------------------
+
+    def records(self, user: Optional[str] = None
+                ) -> Tuple[AuditRecord, ...]:
+        """All records, optionally filtered by user."""
+        if user is None:
+            return tuple(self._records)
+        return tuple(r for r in self._records if r.user == user)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def outcome_counts(self, user: Optional[str] = None
+                       ) -> Dict[str, int]:
+        """How many denied / partial / full deliveries."""
+        counts = {"denied": 0, "partial": 0, "full": 0}
+        for entry in self.records(user):
+            counts[entry.outcome] += 1
+        return counts
+
+    def delivered_fraction(self, user: Optional[str] = None) -> float:
+        """Overall delivered-cells ratio across the trail."""
+        total = delivered = 0
+        for entry in self.records(user):
+            total += entry.stats.total_cells
+            delivered += entry.stats.delivered_cells
+        if total == 0:
+            return 1.0
+        return delivered / total
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def report(self) -> str:
+        """A human-readable activity report."""
+        if not self._records:
+            return "(no authorizations recorded)"
+        lines = []
+        for entry in self._records:
+            stats = entry.stats
+            lines.append(
+                f"#{entry.sequence} {entry.user}: {entry.outcome} "
+                f"({stats.delivered_cells}/{stats.total_cells} cells) "
+                f"via {', '.join(entry.admissible_views) or '(no views)'}"
+            )
+            lines.append(f"    {entry.statement}")
+        summary = self.outcome_counts()
+        lines.append(
+            f"-- {len(self._records)} requests: "
+            f"{summary['full']} full, {summary['partial']} partial, "
+            f"{summary['denied']} denied"
+        )
+        return "\n".join(lines)

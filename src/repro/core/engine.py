@@ -1,0 +1,166 @@
+"""The authorization engine: Figure 2 made executable.
+
+``authorize(user, query)`` runs the query's plan twice — over the
+actual relations (yielding the answer A) and over the meta-relations
+(yielding the mask A') — applies the mask to the answer, and attaches
+the inferred permit statements.  Users direct queries at the actual
+database; views never act as access windows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.audit import AuditLog
+
+from repro.algebra.database import Database
+from repro.algebra.optimize import evaluate_optimized
+from repro.calculus.ast import Query
+from repro.calculus.to_algebra import compile_query
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.answer import AuthorizedAnswer
+from repro.core.mask import Mask
+from repro.core.statements import infer_permits
+from repro.errors import ParseError
+from repro.extensions.closure import make_excuse
+from repro.lang.parser import parse_statement
+from repro.meta.catalog import PermissionCatalog
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.plan import MaskDerivation, derive_mask
+from repro.metaalgebra.selfjoin import selfjoin_closure
+
+
+class AuthorizationEngine:
+    """Binds a database, a permission catalog, and a configuration."""
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: Optional[PermissionCatalog] = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        audit: Optional["AuditLog"] = None,
+    ):
+        self.database = database
+        self.catalog = catalog or PermissionCatalog(database.schema)
+        self.config = config
+        #: Optional audit trail; every authorize() appends a record.
+        self.audit = audit
+        # Per-user self-join closures: "once generated, they should be
+        # stored with the original view definitions, until these
+        # definitions are modified."
+        self._selfjoin_cache: Dict[str, Dict[str, Tuple[MetaTuple, ...]]] = {}
+        self._selfjoin_cache_version = -1
+
+    # ------------------------------------------------------------------
+    # convenience pass-throughs
+    # ------------------------------------------------------------------
+
+    def define_view(self, view) -> None:
+        """Define a view (AST or surface text)."""
+        self.catalog.define_view(view)
+
+    def permit(self, view_name: str, user: str) -> None:
+        """Grant ``user`` access to ``view_name``."""
+        self.catalog.permit(view_name, user)
+
+    def revoke(self, view_name: str, user: str) -> None:
+        """Withdraw a grant."""
+        self.catalog.revoke(view_name, user)
+
+    # ------------------------------------------------------------------
+    # the authorization process (Section 5)
+    # ------------------------------------------------------------------
+
+    def authorize(self, user: str,
+                  query: Union[Query, str]) -> AuthorizedAnswer:
+        """Answer ``query`` for ``user``, masked to their permissions."""
+        if isinstance(query, str):
+            parsed = parse_statement(query)
+            if not isinstance(parsed, Query):
+                raise ParseError("authorize expects a retrieve statement")
+            query = parsed
+
+        plan = compile_query(query, self.database.schema)
+        answer = evaluate_optimized(plan, self.database)
+        derivation = self.derive(user, query)
+        assert derivation.mask is not None
+        mask = Mask.from_table(derivation.mask)
+        delivered = mask.apply(
+            answer, drop_fully_masked=self.config.drop_fully_masked_rows
+        )
+        permits = infer_permits(mask)
+        authorized = AuthorizedAnswer(
+            user=user,
+            query=query,
+            plan=plan,
+            answer=answer,
+            mask=mask,
+            delivered=delivered,
+            permits=permits,
+            derivation=derivation,
+        )
+        if self.audit is not None:
+            self.audit.record(authorized)
+        return authorized
+
+    def derive(self, user: str,
+               query: Union[Query, str]) -> MaskDerivation:
+        """Derive the mask only (no data touched) — with full trace."""
+        if isinstance(query, str):
+            parsed = parse_statement(query)
+            if not isinstance(parsed, Query):
+                raise ParseError("derive expects a retrieve statement")
+            query = parsed
+        plan = compile_query(query, self.database.schema)
+
+        excuse = None
+        if self.config.existential_closure:
+            admissible = self.catalog.admissible_views(
+                user, plan.relation_names()
+            )
+            excuse = make_excuse(
+                self.catalog, admissible, plan, self.database.schema
+            )
+
+        return derive_mask(
+            plan,
+            self.database.schema,
+            self.catalog,
+            user,
+            self.config,
+            excuse=excuse,
+            selfjoin_pool=self._selfjoin_pool(user),
+        )
+
+    # ------------------------------------------------------------------
+    # self-join cache
+    # ------------------------------------------------------------------
+
+    def _selfjoin_pool(
+        self, user: str
+    ) -> Optional[Dict[str, Tuple[MetaTuple, ...]]]:
+        if not self.config.self_joins:
+            return None
+        if self._selfjoin_cache_version != self.catalog.version:
+            self._selfjoin_cache.clear()
+            self._selfjoin_cache_version = self.catalog.version
+        cached = self._selfjoin_cache.get(user)
+        if cached is not None:
+            return cached
+
+        pool: Dict[str, Tuple[MetaTuple, ...]] = {}
+        permitted = self.catalog.views_of(user)
+        store = self.catalog.store_for(permitted)
+        for relation in self.database.schema.names():
+            # The closure is computed once over all of the user's
+            # views; derive_mask filters out combinations involving
+            # views that are not admissible for a particular query.
+            tuples = self.catalog.tuples_for(relation, permitted)
+            pool[relation] = selfjoin_closure(
+                self.database.schema.get(relation), tuples, store,
+                self.config.max_selfjoin_rounds,
+                self.config.max_selfjoin_tuples,
+            )
+        self._selfjoin_cache[user] = pool
+        return pool

@@ -1,0 +1,156 @@
+"""Masks and their application to answers (Section 5).
+
+The mask A' "is applied to the answer, yielding the data that may be
+delivered to the user".  A mask row matches an answer tuple when some
+assignment of the row's variables is consistent with the tuple's values
+and satisfies the COMPARISON constraints; the row's starred columns are
+then visible for that tuple.  A cell of the answer is delivered iff
+some mask row makes it visible; everything else is masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.algebra.relation import Column, Relation, Row
+from repro.algebra.types import Value
+from repro.metaalgebra.table import MaskRow, MaskTable
+
+
+class MaskedValue:
+    """Sentinel for a cell withheld from the user."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#####"
+
+    def __str__(self) -> str:
+        return "#####"
+
+
+#: The singleton masked-cell sentinel.
+MASKED = MaskedValue()
+
+
+def meta_tuple_matches(meta, store, values: Row) -> bool:
+    """Does a meta-tuple's selection condition admit a concrete tuple?
+
+    Constants must equal the tuple's values; every occurrence of a
+    variable must see the same value; the induced binding must satisfy
+    the COMPARISON constraints.  This is the selection semantics of
+    Section 3's subview reading of meta-tuples, shared by mask
+    application and by the proposition-level materializer.
+    """
+    binding: Dict[str, Value] = {}
+    for cell, value in zip(meta.cells, values):
+        if cell.is_blank:
+            continue
+        if cell.is_constant:
+            if cell.const_value != value:
+                return False
+            continue
+        var = cell.var_name
+        assert var is not None
+        bound = binding.get(var)
+        if bound is None:
+            binding[var] = value
+        elif bound != value:
+            return False
+    if not binding:
+        return True
+    return store.satisfied_by(binding)
+
+
+def materialize_meta_tuple(meta, store, instance: Relation) -> Relation:
+    """The relation a meta-tuple denotes over ``instance``.
+
+    "Each individual meta-tuple may be regarded as defining a subview
+    of the corresponding relation": select the tuples admitted by the
+    constants/variables, project the starred attributes.  Works over a
+    base-relation instance or a product instance, which is what the
+    executable Propositions 1-3 checks need.
+    """
+    starred = meta.starred_positions()
+    matching = instance.select(
+        lambda row: meta_tuple_matches(meta, store, row)
+    )
+    return matching.project(starred)
+
+
+@dataclass(frozen=True)
+class Mask:
+    """The final A': permitted views of the answer."""
+
+    columns: Tuple[Column, ...]
+    rows: Tuple[MaskRow, ...]
+
+    @staticmethod
+    def from_table(table: MaskTable) -> "Mask":
+        return Mask(table.columns, table.rows)
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(c.label for c in self.columns)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing at all may be delivered."""
+        return not self.rows
+
+    @property
+    def covers_everything(self) -> bool:
+        """True when some row stars all columns with no restriction.
+
+        Example 3's outcome: "the answer will be delivered without any
+        accompanying permit statements".
+        """
+        return any(
+            all(cell.starred and cell.is_blank for cell in row.meta.cells)
+            and row.store.restrict_closure(row.meta.variables()).is_empty()
+            for row in self.rows
+        )
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def row_matches(self, mask_row: MaskRow, values: Row) -> bool:
+        """Does ``mask_row``'s selection admit the answer tuple?"""
+        return meta_tuple_matches(mask_row.meta, mask_row.store, values)
+
+    def visible_positions(self, values: Row) -> FrozenSet[int]:
+        """Columns of answer tuple ``values`` that may be delivered."""
+        visible = set()
+        for mask_row in self.rows:
+            starred = mask_row.meta.starred_positions()
+            if not starred:
+                continue
+            if set(starred) <= visible:
+                continue
+            if self.row_matches(mask_row, values):
+                visible.update(starred)
+        return frozenset(visible)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def apply(self, answer: Relation,
+              drop_fully_masked: bool = False) -> Tuple[Tuple, ...]:
+        """Mask ``answer``, returning delivered rows with MASKED cells."""
+        delivered: List[Tuple] = []
+        for values in answer.rows:
+            visible = self.visible_positions(values)
+            if not visible and drop_fully_masked:
+                continue
+            delivered.append(tuple(
+                value if i in visible else MASKED
+                for i, value in enumerate(values)
+            ))
+        return tuple(delivered)

@@ -1,0 +1,157 @@
+"""The database front end of Section 6.
+
+"The user will define access authorization with permit statements, and
+the system will insert automatically the appropriate meta-tuples into
+the meta-relations.  In response to a retrieve statement, the user will
+receive a derived relation ... and a set of inferred permit statements
+describing the portion delivered.  Thus, the meta-relations and the
+meta-tuple notation would be completely transparent, with all
+user-system communication done with customary query language
+statements."
+
+:class:`FrontEnd` dispatches parsed statements against an engine;
+:class:`Session` fixes the acting user.  Both are shared by the CLI and
+the example programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.calculus.ast import Query, ViewDefinition
+from repro.core.answer import AuthorizedAnswer
+from repro.core.engine import AuthorizationEngine
+from repro.errors import ReproError
+from repro.lang.parser import (
+    DeleteCommand,
+    InsertCommand,
+    ModifyCommand,
+    PermitCommand,
+    PermitViewCommand,
+    RevokeCommand,
+    parse_statement,
+)
+
+
+@dataclass
+class FrontEndResult:
+    """Outcome of one statement: a message, and the answer if any."""
+
+    message: str
+    answer: Optional[AuthorizedAnswer] = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class FrontEnd:
+    """Statement dispatcher: views, grants, retrievals, and updates."""
+
+    def __init__(self, engine: AuthorizationEngine,
+                 strict_updates: bool = True):
+        self.engine = engine
+        from repro.extensions.updates import UpdateAuthorizer
+
+        self.updates = UpdateAuthorizer(engine, strict=strict_updates)
+        self._anonymous_counter = 0
+
+    def _fresh_anonymous_view_name(self) -> str:
+        while True:
+            self._anonymous_counter += 1
+            name = f"_P{self._anonymous_counter}"
+            if not self.engine.catalog.has_view(name):
+                return name
+
+    def execute(self, statement: Union[str, ViewDefinition, Query,
+                                       PermitCommand, RevokeCommand,
+                                       InsertCommand, DeleteCommand,
+                                       ModifyCommand],
+                user: str) -> FrontEndResult:
+        """Execute one statement on behalf of ``user``."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+
+        if isinstance(statement, ViewDefinition):
+            self.engine.define_view(statement)
+            return FrontEndResult(f"view {statement.name} defined")
+
+        if isinstance(statement, PermitCommand):
+            for view_name in statement.views:
+                for grantee in statement.users:
+                    self.engine.permit(view_name, grantee)
+            return FrontEndResult(
+                f"permitted {', '.join(statement.views)} "
+                f"to {', '.join(statement.users)}"
+            )
+
+        if isinstance(statement, PermitViewCommand):
+            name = self._fresh_anonymous_view_name()
+            self.engine.define_view(statement.as_view(name))
+            for grantee in statement.users:
+                self.engine.permit(name, grantee)
+            return FrontEndResult(
+                f"permitted anonymous view {name} "
+                f"to {', '.join(statement.users)}"
+            )
+
+        if isinstance(statement, RevokeCommand):
+            for view_name in statement.views:
+                for grantee in statement.users:
+                    self.engine.revoke(view_name, grantee)
+            return FrontEndResult(
+                f"revoked {', '.join(statement.views)} "
+                f"from {', '.join(statement.users)}"
+            )
+
+        if isinstance(statement, InsertCommand):
+            self.updates.insert(user, statement.relation, statement.values)
+            return FrontEndResult(
+                f"inserted 1 row into {statement.relation}"
+            )
+
+        if isinstance(statement, DeleteCommand):
+            removed = self.updates.delete(
+                user, statement.relation, statement.conditions
+            )
+            return FrontEndResult(
+                f"deleted {removed} row(s) from {statement.relation}"
+            )
+
+        if isinstance(statement, ModifyCommand):
+            changed = self.updates.modify(
+                user, statement.relation, statement.conditions,
+                dict(statement.updates),
+            )
+            return FrontEndResult(
+                f"modified {changed} row(s) in {statement.relation}"
+            )
+
+        assert isinstance(statement, Query)
+        answer = self.engine.authorize(user, statement)
+        return FrontEndResult(answer.render(), answer)
+
+
+class Session:
+    """A front end bound to one user (the paper's interactive setting)."""
+
+    def __init__(self, engine: AuthorizationEngine, user: str):
+        self.front_end = FrontEnd(engine)
+        self.user = user
+
+    def execute(self, statement: Union[str, ViewDefinition, Query,
+                                       PermitCommand, RevokeCommand]
+                ) -> FrontEndResult:
+        """Execute a statement as this session's user."""
+        return self.front_end.execute(statement, self.user)
+
+    def retrieve(self, text: str) -> AuthorizedAnswer:
+        """Run a retrieve statement and return the authorized answer.
+
+        Raises:
+            ReproError: when the statement is not a retrieval or fails.
+        """
+        result = self.execute(text)
+        if result.answer is None:
+            raise ReproError("statement was not a retrieval")
+        return result.answer

@@ -1,0 +1,65 @@
+"""Inferred permit statements accompanying a delivered answer.
+
+"This answer is accompanied by statements describing the portions
+delivered" — each mask row decodes into one ``permit`` statement over
+the answer's columns (Example 1's ``permit (NUMBER, SPONSOR) where
+SPONSOR = Acme``).  When the mask covers the entire answer, no
+statements are attached (Example 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.mask import Mask
+from repro.meta.decode import permit_clauses
+
+
+@dataclass(frozen=True)
+class InferredPermit:
+    """One ``permit (COLS...) [where ...]`` statement."""
+
+    columns: Tuple[str, ...]
+    clauses: Tuple[str, ...]
+
+    def render(self) -> str:
+        text = f"permit ({', '.join(self.columns)})"
+        if self.clauses:
+            text += " where " + " and ".join(self.clauses)
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def infer_permits(mask: Mask) -> Tuple[InferredPermit, ...]:
+    """Decode a mask into permit statements.
+
+    A mask that covers the whole answer yields no statements; otherwise
+    one statement per mask row, deduplicated, unrestricted statements
+    first (they describe the widest portions).
+    """
+    if mask.is_empty or mask.covers_everything:
+        return ()
+
+    labels = mask.labels()
+    statements: List[InferredPermit] = []
+    seen = set()
+    for row in mask.rows:
+        columns, clauses = permit_clauses(labels, row.meta, row.store)
+        if not columns:
+            continue
+        permit = InferredPermit(columns, clauses)
+        key = (permit.columns, frozenset(permit.clauses))
+        if key not in seen:
+            seen.add(key)
+            statements.append(permit)
+
+    statements.sort(key=lambda p: (len(p.clauses), -len(p.columns)))
+    return tuple(statements)
+
+
+def render_permits(permits: Sequence[InferredPermit]) -> str:
+    """Multi-line rendering of a statement list."""
+    return "\n".join(p.render() for p in permits)

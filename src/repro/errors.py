@@ -1,0 +1,111 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation scheme or database scheme is malformed.
+
+    Raised for duplicate attribute names, empty schemes, keys that
+    reference unknown attributes, and similar structural problems.
+    """
+
+
+class TypeMismatchError(ReproError):
+    """A value does not belong to the domain of its attribute.
+
+    Also raised when a comparison mixes values from incompatible
+    domains (e.g. comparing a string attribute with an integer
+    constant).
+    """
+
+
+class UnknownRelationError(ReproError):
+    """A statement references a relation that is not in the scheme."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(ReproError):
+    """A statement references an attribute missing from its relation."""
+
+    def __init__(self, relation: str, attribute: str):
+        super().__init__(f"relation {relation!r} has no attribute {attribute!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class UnknownViewError(ReproError):
+    """A permit statement references a view that was never defined."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown view: {name!r}")
+        self.name = name
+
+
+class DuplicateViewError(ReproError):
+    """A view statement reuses the name of an existing view."""
+
+    def __init__(self, name: str):
+        super().__init__(f"view already defined: {name!r}")
+        self.name = name
+
+
+class ParseError(ReproError):
+    """A statement in the surface language could not be parsed.
+
+    Carries the offending position so interactive front ends can point
+    at the problem.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        location = ""
+        if line >= 0:
+            location = f" (line {line})"
+        elif position >= 0:
+            location = f" (at offset {position})"
+        super().__init__(message + location)
+        self.position = position
+        self.line = line
+
+
+class SafetyError(ReproError):
+    """A calculus expression violates the safety conditions of Section 2.
+
+    Examples: an empty target list, a comparison whose operands never
+    appear in a membership subformula, or a condition with two constant
+    operands.
+    """
+
+
+class AuthorizationError(ReproError):
+    """A request was denied outright.
+
+    The Motro engine itself never raises this for retrievals (it masks
+    instead); the System R and INGRES baselines raise it to model their
+    all-or-nothing behaviour, and the update extension raises it for
+    unauthorized modifications.
+    """
+
+
+class GrantError(ReproError):
+    """An invalid grant or revoke in the System R baseline.
+
+    Raised e.g. when a grantor lacks the grant option on the object it
+    is trying to share.
+    """
+
+
+class EvaluationError(ReproError):
+    """An algebra plan could not be evaluated against an instance."""

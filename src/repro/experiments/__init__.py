@@ -1,0 +1,13 @@
+"""S10 — the experiment harness.
+
+One module per paper artifact (Figure 1, Figure 2, Examples 1-3, the
+Section 4.2 case analysis, the Section 1 baseline comparisons, the
+ablations, coverage and scaling), each producing an
+:class:`~repro.experiments.result.ExperimentResult` with the paper's
+tables and explicit paper-vs-measured checks.  Run them all with
+``python -m repro.experiments``.
+"""
+
+from repro.experiments.result import Check, ExperimentResult, Section
+
+__all__ = ["Check", "ExperimentResult", "Section"]

@@ -1,0 +1,176 @@
+"""E7 + E8 — the Section 1 comparisons with INGRES and System R.
+
+E7, the INGRES row/column asymmetry: "Consider relation A with
+attributes A1, A2 and A3, and assume permission is granted to the
+tuples of A1 and A2 that satisfy a predicate P.  A request to retrieve
+A1 and A2 would be reduced to the tuples ... that satisfy P.  However,
+a request to retrieve A1, A2 and A3 would be denied altogether, where
+one would expect that it would be reduced to tuples of A1 and A2."
+
+E8, the System R access window: "We define this view V and grant access
+permission to V, but not to A or B ... Queries that access A or B will
+be rejected for lack of access permissions to these relations, even if
+the requests are within the permissions."
+
+Both limitations are reproduced on the reimplemented baselines, and the
+paper's model is shown to remove them.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.database import build_database
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.baselines.ingres import IngresModel
+from repro.baselines.interface import Outcome
+from repro.baselines.motro import MotroModel
+from repro.baselines.system_r import SystemRModel
+from repro.calculus.ast import AttrRef, Condition, ConstTerm
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED
+from repro.experiments.result import ExperimentResult
+from repro.experiments.tables import ascii_table
+from repro.meta.catalog import PermissionCatalog
+from repro.predicates.comparators import Comparator
+
+
+def _asymmetry_database():
+    """Relation A(A1, A2, A3) with a predicate P: A2 != u."""
+    a = make_schema(
+        "A", [("A1", STRING), ("A2", STRING), ("A3", INTEGER)], key=["A1"]
+    )
+    return build_database([a], {
+        "A": [("r1", "u", 5), ("r2", "v", 15), ("r3", "w", 25)],
+    })
+
+
+def _window_database():
+    """Relations A and B joined by view V (the System R scenario)."""
+    a = make_schema("A", [("K", STRING), ("X", INTEGER)], key=["K"])
+    b = make_schema("B", [("K", STRING), ("Y", INTEGER)], key=["K"])
+    return build_database([a, b], {
+        "A": [("k1", 1), ("k2", 2)],
+        "B": [("k1", 10), ("k2", 20)],
+    })
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E7+E8",
+        title="Limitations of the INGRES and System R baselines",
+        paper_artifact="Section 1 (Introduction)",
+    )
+
+    # ----- E7: INGRES asymmetry ----------------------------------------
+    # Permission: the tuples of A1 and A2 that satisfy P (P: A2 != u).
+    database = _asymmetry_database()
+    predicate = Condition(AttrRef("A", "A2"), Comparator.NE, ConstTerm("u"))
+
+    ingres = IngresModel(database)
+    ingres.permit("user", "A", ["A1", "A2"], [predicate])
+
+    catalog = PermissionCatalog(database.schema)
+    catalog.define_view("view P12 (A.A1, A.A2) where A.A2 != u")
+    catalog.permit("P12", "user")
+    motro = MotroModel(AuthorizationEngine(database, catalog))
+
+    two_cols = "retrieve (A.A1, A.A2)"
+    three_cols = "retrieve (A.A1, A.A2, A.A3)"
+
+    ingres_two = ingres.authorize_query("user", two_cols)
+    ingres_three = ingres.authorize_query("user", three_cols)
+    motro_two = motro.authorize_query("user", two_cols)
+    motro_three = motro.authorize_query("user", three_cols)
+
+    result.add_section(
+        "E7 — request (A1, A2) vs (A1, A2, A3) under permission "
+        "(A1, A2) where P",
+        ascii_table(
+            ("model", "retrieve (A1, A2)", "retrieve (A1, A2, A3)"),
+            [
+                ("INGRES", str(ingres_two.outcome),
+                 str(ingres_three.outcome)),
+                ("Motro", str(motro_two.outcome), str(motro_three.outcome)),
+            ],
+        ),
+    )
+    result.check_equal(
+        "INGRES reduces the two-column request to the tuples "
+        "satisfying P",
+        ingres_two.outcome, Outcome.PARTIAL,
+    )
+    result.check_equal(
+        "INGRES denies the three-column request altogether",
+        ingres_three.outcome, Outcome.DENIED,
+    )
+    result.check_equal(
+        "Motro reduces the two-column request to the tuples "
+        "satisfying P",
+        {row for row in motro_two.delivered if MASKED not in row},
+        {("r2", "v"), ("r3", "w")},
+    )
+    result.add_check(
+        "Motro reduces the three-column request to columns A1, A2 "
+        "instead of denying",
+        motro_three.outcome is Outcome.PARTIAL and all(
+            row[2] is MASKED for row in motro_three.delivered
+        ),
+        detail=f"outcome={motro_three.outcome}, rows={motro_three.delivered}",
+    )
+    result.check_equal(
+        "Motro's three-column reduction respects P on the rows",
+        {
+            (row[0], row[1]) for row in motro_three.delivered
+            if row[0] is not MASKED
+        },
+        {("r2", "v"), ("r3", "w")},
+    )
+
+    # ----- E8: System R access window ----------------------------------
+    window_db = _window_database()
+    system_r = SystemRModel(window_db)
+    system_r.create_view(
+        "_dba", "view V (A.K, A.X, B.Y) where A.K = B.K"
+    )
+    system_r.grant("_dba", "user", "V")
+
+    catalog2 = PermissionCatalog(window_db.schema)
+    catalog2.define_view("view V (A.K, A.X, B.Y) where A.K = B.K")
+    catalog2.permit("V", "user")
+    motro2 = MotroModel(AuthorizationEngine(window_db, catalog2))
+
+    base_query = "retrieve (A.K, A.X, B.Y) where A.K = B.K"
+    sr_base = system_r.authorize_query("user", base_query)
+    sr_window = system_r.authorize_view_query("user", "V")
+    motro_base = motro2.authorize_query("user", base_query)
+
+    result.add_section(
+        "E8 — the same request addressed at the base relations vs at "
+        "the view window",
+        ascii_table(
+            ("model", "query on A, B", "query on view V"),
+            [
+                ("System R", str(sr_base.outcome),
+                 str(sr_window.outcome)),
+                ("Motro", str(motro_base.outcome),
+                 "(views are not windows)"),
+            ],
+        ),
+    )
+    result.check_equal(
+        "System R rejects the base-relation query despite view V",
+        sr_base.outcome, Outcome.DENIED,
+    )
+    result.check_equal(
+        "System R delivers through the window",
+        sr_window.outcome, Outcome.FULL,
+    )
+    result.check_equal(
+        "Motro delivers the base-relation query in full",
+        motro_base.outcome, Outcome.FULL,
+    )
+    result.check_equal(
+        "both full deliveries agree on the data",
+        set(motro_base.delivered), set(sr_window.delivered),
+    )
+    return result

@@ -1,0 +1,75 @@
+"""E3 — Example 1: Brown retrieves numbers and sponsors of large projects.
+
+Reproduces every step the paper prints: the pruned PROJECT', the mask
+after selection and projection ``(*, Acme*)``, the masked delivery, and
+the inferred statement ``permit (NUMBER, SPONSOR) where SPONSOR = Acme``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.tables import (
+    mask_table,
+    meta_tuple_cells,
+    pruned_meta_table,
+)
+from repro.workloads.paperdb import EXAMPLE_1_QUERY, build_paper_engine
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E3",
+        title="Example 1 — Brown: numbers and sponsors of large projects",
+        paper_artifact="Section 5, Example 1",
+    )
+    engine = build_paper_engine()
+    answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+    derivation = answer.derivation
+
+    result.add_section("Query", EXAMPLE_1_QUERY)
+    result.add_section(
+        "Pruned PROJECT' (Brown's views defined entirely in PROJECT)",
+        pruned_meta_table(
+            "PROJECT", ("NUMBER", "SPONSOR", "BUDGET"),
+            derivation.pruned_meta["PROJECT"],
+        ),
+    )
+    condition, after = derivation.after_selections[0]
+    result.add_section(
+        "A' after selection BUDGET >= 250,000",
+        mask_table(after, show_views=True),
+    )
+    assert derivation.mask is not None
+    result.add_section("A' after projection (the mask)",
+                       mask_table(derivation.mask))
+    result.add_section("Delivered answer", answer.render())
+
+    # -- checks against the paper's printed outcome ---------------------
+    result.check_equal(
+        "stage-one pruning keeps exactly PSA",
+        derivation.admissible_views, ("PSA",),
+    )
+    result.check_equal(
+        "the selection retains the PSA tuple unmodified",
+        tuple(meta_tuple_cells(r.meta) for r in after.rows),
+        (("*", "Acme*", "*"),),
+    )
+    result.check_equal(
+        "final mask is (*, Acme*)",
+        tuple(meta_tuple_cells(r.meta) for r in derivation.mask.rows),
+        (("*", "Acme*"),),
+    )
+    result.check_equal(
+        "inferred statement matches the paper",
+        tuple(str(p) for p in answer.permits),
+        ("permit (NUMBER, SPONSOR) where SPONSOR = Acme",),
+    )
+    # Data-level outcome: bq-45/Acme delivered, sv-72/Apex masked.
+    from repro.core.mask import MASKED
+
+    result.check_equal(
+        "Acme's project is delivered and the Apex project is masked",
+        set(answer.delivered),
+        {("bq-45", "Acme"), (MASKED, MASKED)},
+    )
+    return result

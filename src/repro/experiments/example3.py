@@ -1,0 +1,90 @@
+"""E5 — Example 3: Brown retrieves names and salaries of employees with
+the same title.
+
+Reproduces the self-join refinement (SAE combining with each EST tuple
+into ``(*, x4*, *)``), the meta self-product, the full-visibility mask,
+and the paper's closing behaviour: "This answer will be delivered
+without any accompanying permit statements."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.tables import (
+    mask_table,
+    meta_tuple_cells,
+    pruned_meta_table,
+)
+from repro.workloads.paperdb import EXAMPLE_3_QUERY, build_paper_engine
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E5",
+        title="Example 3 — Brown: names and salaries of same-title "
+              "employees",
+        paper_artifact="Section 5, Example 3",
+    )
+    engine = build_paper_engine()
+    answer = engine.authorize("Brown", EXAMPLE_3_QUERY)
+    derivation = answer.derivation
+
+    result.add_section("Query", EXAMPLE_3_QUERY)
+    result.add_section(
+        "Pruned EMPLOYEE' (Brown's admissible views)",
+        pruned_meta_table("EMPLOYEE", ("NAME", "TITLE", "SALARY"),
+                          derivation.pruned_meta["EMPLOYEE"]),
+    )
+    result.add_section(
+        "Self-join refinement: SAE combined with each EST tuple",
+        pruned_meta_table("EMPLOYEE", ("NAME", "TITLE", "SALARY"),
+                          derivation.selfjoin_added["EMPLOYEE"]),
+    )
+    assert derivation.mask is not None
+    result.add_section("A' after selection and projection (the mask)",
+                       mask_table(derivation.mask))
+    result.add_section("Delivered answer", answer.render())
+
+    # -- checks ----------------------------------------------------------
+    combined = tuple(
+        meta_tuple_cells(t) for t in derivation.selfjoin_added["EMPLOYEE"]
+    )
+    result.check_equal(
+        "self-joins yield the two (*, x4*, *) combined tuples",
+        combined, (("*", "x4*", "*"), ("*", "x4*", "*")),
+    )
+    result.check_equal(
+        "the combined tuples belong to views EST and SAE",
+        tuple(sorted(t.views)
+              for t in derivation.selfjoin_added["EMPLOYEE"]),
+        (["EST", "SAE"], ["EST", "SAE"]),
+    )
+    result.check_equal(
+        "the final mask stars every requested column unrestricted",
+        tuple(meta_tuple_cells(r.meta) for r in derivation.mask.rows),
+        (("*", "*", "*", "*"),),
+    )
+    result.check_equal(
+        "no permit statements accompany the answer",
+        answer.permits, (),
+    )
+    result.add_check(
+        "the answer is delivered in full",
+        answer.is_fully_delivered,
+    )
+    # Without the self-join refinement the salaries of the *pairs*
+    # cannot be combined with the same-title selection: the delivery
+    # degrades.  This motivates the refinement.
+    from repro.config import DEFAULT_CONFIG
+
+    reduced = build_paper_engine(DEFAULT_CONFIG.but(self_joins=False)) \
+        .authorize("Brown", EXAMPLE_3_QUERY)
+    result.add_check(
+        "without self-joins the delivery is strictly smaller",
+        reduced.stats().delivered_cells < answer.stats().delivered_cells,
+        detail=(
+            f"with: {answer.stats().delivered_cells}, "
+            f"without: {reduced.stats().delivered_cells}"
+        ),
+    )
+    return result

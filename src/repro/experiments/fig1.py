@@ -1,0 +1,86 @@
+"""E1 — Figure 1: the database extended with access permissions.
+
+Rebuilds Figure 1 from the four ``view`` and five ``permit`` statements
+and checks every meta-tuple, every COMPARISON row and every PERMISSION
+row against the figure's printed contents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.tables import (
+    comparison_table,
+    figure1_table,
+    meta_tuple_cells,
+    permission_table,
+)
+from repro.workloads.paperdb import (
+    GRANTS,
+    build_paper_catalog,
+    build_paper_database,
+)
+
+#: Figure 1's meta-relation contents, rendered in the paper's notation
+#: ('*' = starred blank, '.' = blank).
+EXPECTED_META: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
+    "EMPLOYEE": (
+        ("SAE", ("*", ".", "*")),
+        ("ELP", ("x1*", "*", ".")),
+        ("EST", ("*", "x4*", ".")),
+        ("EST", ("*", "x4*", ".")),
+    ),
+    "PROJECT": (
+        ("ELP", ("x2*", ".", "x3*")),
+        ("PSA", ("*", "Acme*", "*")),
+    ),
+    "ASSIGNMENT": (
+        ("ELP", ("x1*", "x2*")),
+    ),
+}
+
+#: Figure 1's COMPARISON relation.
+EXPECTED_COMPARISON = (("ELP", "x3", ">=", "250,000"),)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E1",
+        title="Database extended with access permissions",
+        paper_artifact="Figure 1",
+    )
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+
+    for relation in ("EMPLOYEE", "PROJECT", "ASSIGNMENT"):
+        result.add_section(
+            f"{relation} with meta-relation {relation}'",
+            figure1_table(database, catalog, relation),
+        )
+    result.add_section("COMPARISON", comparison_table(catalog))
+    result.add_section("PERMISSION", permission_table(catalog))
+
+    for relation, expected_rows in EXPECTED_META.items():
+        actual = tuple(
+            (view, meta_tuple_cells(meta))
+            for view, meta in catalog.meta_relation_rows(relation)
+        )
+        result.check_equal(
+            f"meta-relation {relation}' matches Figure 1",
+            _sorted_rows(actual), _sorted_rows(expected_rows),
+        )
+
+    result.check_equal(
+        "COMPARISON matches Figure 1",
+        catalog.comparison_rows(), EXPECTED_COMPARISON,
+    )
+    result.check_equal(
+        "PERMISSION matches Figure 1",
+        catalog.permission_rows(), GRANTS,
+    )
+    return result
+
+
+def _sorted_rows(rows):
+    return tuple(sorted(rows, key=lambda r: (r[0], r[1])))

@@ -1,0 +1,91 @@
+"""Experiment results: sections of rendered tables plus pass/fail checks.
+
+Every experiment module produces an :class:`ExperimentResult`; the
+runner renders them and aggregates the checks, and EXPERIMENTS.md is
+written from the same structures, so the recorded paper-vs-measured
+comparison can never drift from what the code computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Check:
+    """One assertion against the paper's stated outcome."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        text = f"[{status}] {self.description}"
+        if self.detail and not self.passed:
+            text += f"\n       {self.detail}"
+        return text
+
+
+@dataclass(frozen=True)
+class Section:
+    """A titled block of pre-rendered text (usually a table)."""
+
+    heading: str
+    body: str
+
+    def render(self) -> str:
+        underline = "-" * len(self.heading)
+        return f"{self.heading}\n{underline}\n{self.body}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    paper_artifact: str
+    sections: List[Section] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def add_section(self, heading: str, body: str) -> None:
+        self.sections.append(Section(heading, body))
+
+    def add_check(self, description: str, passed: bool,
+                  detail: str = "") -> None:
+        self.checks.append(Check(description, passed, detail))
+
+    def check_equal(self, description: str, actual, expected) -> None:
+        """Convenience: an equality check with a diff-style detail."""
+        self.add_check(
+            description,
+            actual == expected,
+            detail=f"expected {expected!r}, got {actual!r}",
+        )
+
+    def render(self) -> str:
+        bar = "=" * 72
+        lines = [
+            bar,
+            f"{self.exp_id}: {self.title}",
+            f"(reproduces {self.paper_artifact})",
+            bar,
+        ]
+        for section in self.sections:
+            lines.append("")
+            lines.append(section.render())
+        if self.checks:
+            lines.append("")
+            lines.append("Checks")
+            lines.append("------")
+            lines.extend(check.render() for check in self.checks)
+        status = "ALL CHECKS PASS" if self.passed else "CHECK FAILURES"
+        lines.append("")
+        lines.append(f">>> {self.exp_id}: {status}")
+        return "\n".join(lines)

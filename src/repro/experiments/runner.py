@@ -1,0 +1,89 @@
+"""Experiment registry and command-line runner.
+
+``python -m repro.experiments`` runs every experiment (or those named
+on the command line) and prints the paper-style tables plus the
+pass/fail checks.  The same registry backs the test suite
+(``tests/experiments``) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments import (
+    ablation,
+    baseline_limitations,
+    completeness,
+    coverage,
+    example1,
+    example2,
+    example3,
+    fig1,
+    fig2,
+    refinement_cases,
+    scaling,
+)
+from repro.experiments.result import ExperimentResult
+
+#: Experiment id -> runner, in DESIGN.md order.
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "E1": fig1.run,
+    "E2": fig2.run,
+    "E3": example1.run,
+    "E4": example2.run,
+    "E5": example3.run,
+    "E6": refinement_cases.run,
+    "E7": baseline_limitations.run,   # E7+E8 share a module
+    "E9": ablation.run,               # E9+E11 share a module
+    "E10": coverage.run,
+    "E12": scaling.run,
+    "E13": completeness.run,
+}
+
+#: Aliases so every DESIGN.md id resolves.
+ALIASES = {"E8": "E7", "E11": "E9"}
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Run one experiment by id (aliases accepted)."""
+    canonical = ALIASES.get(exp_id, exp_id)
+    return REGISTRY[canonical]()
+
+
+def run_all(ids: Sequence[str] = ()) -> List[ExperimentResult]:
+    """Run the requested experiments (all when ``ids`` is empty)."""
+    targets = list(ids) or list(REGISTRY)
+    seen = set()
+    results = []
+    for exp_id in targets:
+        canonical = ALIASES.get(exp_id, exp_id)
+        if canonical in seen:
+            continue
+        seen.add(canonical)
+        results.append(REGISTRY[canonical]())
+    return results
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    """Entry point: render every requested experiment, return 0 on
+    all-pass."""
+    argv = list(argv) or sys.argv[1:]
+    try:
+        results = run_all(argv)
+    except KeyError as error:
+        print(f"unknown experiment id {error}; "
+              f"known: {', '.join(REGISTRY)} (+ {', '.join(ALIASES)})")
+        return 2
+    failed = 0
+    for result in results:
+        print(result.render())
+        print()
+        if not result.passed:
+            failed += 1
+    summary = (
+        f"{len(results)} experiments, "
+        f"{len(results) - failed} passed, {failed} failed"
+    )
+    print(summary)
+    return 1 if failed else 0

@@ -1,0 +1,162 @@
+"""E12 — scaling behaviour of mask derivation.
+
+The paper argues the meta-side cost is modest: "the optimality is not
+so essential for meta-relations, because they are relatively small".
+Three measurements substantiate that:
+
+* mask-derivation latency vs the number of granted views (the
+  meta-relations grow with the catalog, not the data);
+* mask-derivation latency vs the number of relations in the query (the
+  padded product is exponential in query arity — the price of the
+  products-first strategy);
+* mask-derivation latency vs the instance size (must be flat: the mask
+  never touches data), contrasted with answer-evaluation latency
+  (which grows).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from repro.algebra.database import build_database
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.core.engine import AuthorizationEngine
+from repro.experiments.result import ExperimentResult
+from repro.experiments.tables import ascii_table
+from repro.meta.catalog import PermissionCatalog
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+def _time(callable_: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-N wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def _views_scaling() -> Tuple[List[Tuple], bool]:
+    generator = WorkloadGenerator(5)
+    spec = WorkloadSpec(seed=5, relations=4, views=0)
+    db_schema = generator.schema(spec)
+    database = generator.instance(spec, db_schema)
+
+    rows: List[Tuple] = []
+    timings: List[float] = []
+    catalog = PermissionCatalog(db_schema)
+    query = generator.query(spec, db_schema)
+    view_counts = (4, 16, 64)
+    defined = 0
+    for target in view_counts:
+        while defined < target:
+            catalog.define_view(
+                generator.view(spec, db_schema, f"SV{defined}")
+            )
+            catalog.permit(f"SV{defined}", "user")
+            defined += 1
+        engine = AuthorizationEngine(database, catalog)
+        millis = _time(lambda: engine.derive("user", query))
+        rows.append((target, f"{millis:.2f} ms"))
+        timings.append(millis)
+    return rows, timings[-1] < timings[0] * 500
+
+
+def _relations_scaling() -> List[Tuple]:
+    generator = WorkloadGenerator(6)
+    spec = WorkloadSpec(seed=6, relations=5, views=0)
+    db_schema = generator.schema(spec)
+    database = generator.instance(spec, db_schema)
+    catalog = PermissionCatalog(db_schema)
+    for i, relation in enumerate(db_schema):
+        attrs = ", ".join(
+            f"{relation.name}.{a.name}" for a in relation.attributes
+        )
+        catalog.define_view(f"view FULL{i} ({attrs})")
+        catalog.permit(f"FULL{i}", "user")
+
+    rows: List[Tuple] = []
+    names = list(db_schema.names())
+    for count in (1, 2, 3, 4):
+        target = ", ".join(
+            f"{name}.{db_schema.get(name).attribute_names[0]}"
+            for name in names[:count]
+        )
+        query = f"retrieve ({target})"
+        engine = AuthorizationEngine(database, catalog)
+        millis = _time(lambda q=query: engine.derive("user", q))
+        rows.append((count, f"{millis:.2f} ms"))
+    return rows
+
+
+def _data_scaling() -> Tuple[List[Tuple], bool]:
+    project = make_schema(
+        "PROJECT",
+        [("NUMBER", STRING), ("SPONSOR", STRING), ("BUDGET", INTEGER)],
+        key=["NUMBER"],
+    )
+    rows_out: List[Tuple] = []
+    mask_times: List[float] = []
+    for size in (100, 1_000, 10_000):
+        data = [
+            (f"p{i}", f"sp{i % 7}", (i * 37) % 1_000_000)
+            for i in range(size)
+        ]
+        database = build_database([project], {"PROJECT": data})
+        catalog = PermissionCatalog(database.schema)
+        catalog.define_view(
+            "view BIG (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET >= 500,000"
+        )
+        catalog.permit("BIG", "user")
+        engine = AuthorizationEngine(database, catalog)
+        query = ("retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+                 "where PROJECT.BUDGET >= 250,000")
+        mask_ms = _time(lambda: engine.derive("user", query))
+        full_ms = _time(lambda: engine.authorize("user", query))
+        rows_out.append((size, f"{mask_ms:.2f} ms", f"{full_ms:.2f} ms"))
+        mask_times.append(mask_ms)
+    flat = mask_times[-1] < mask_times[0] * 20 + 1.0
+    return rows_out, flat
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E12",
+        title="Scaling of mask derivation",
+        paper_artifact="Section 4.1's cost argument",
+    )
+
+    view_rows, views_ok = _views_scaling()
+    result.add_section(
+        "Mask derivation vs number of granted views (4-relation schema)",
+        ascii_table(("granted views", "derive time"), view_rows),
+    )
+    result.add_check(
+        "derivation stays tractable as the catalog grows",
+        views_ok,
+    )
+
+    relation_rows = _relations_scaling()
+    result.add_section(
+        "Mask derivation vs relations in the query (full-relation views)",
+        ascii_table(("relations in query", "derive time"), relation_rows),
+    )
+
+    data_rows, flat = _data_scaling()
+    result.add_section(
+        "Mask derivation vs instance size (vs full authorize)",
+        ascii_table(
+            ("rows in PROJECT", "derive (mask only)",
+             "authorize (mask + data + delivery)"),
+            data_rows,
+        ),
+    )
+    result.add_check(
+        "mask derivation cost is independent of the instance size",
+        flat,
+    )
+    return result

@@ -1,0 +1,99 @@
+"""ASCII renderers for the paper's tables.
+
+The experiments print the same tables the paper prints: base relations
+stacked with their meta-relations (Figure 1's presentation "each pair
+of relations R, R' is shown as a single contiguous table"), mask
+tables with the blank glyph, COMPARISON and PERMISSION.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.algebra.database import Database
+from repro.meta.catalog import PermissionCatalog
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.table import MaskTable
+
+#: Glyph used for blank meta-cells in rendered tables.
+BLANK = "."
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Iterable[Sequence[str]]) -> str:
+    """A simple boxed table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths)
+        ) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = [rule, line(headers), rule]
+    out.extend(line(row) for row in rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def meta_tuple_cells(meta: MetaTuple) -> Tuple[str, ...]:
+    """Paper-style cells with '.' for blanks and '*' stars."""
+    return tuple(
+        cell.render(BLANK) if not (cell.is_blank and cell.starred)
+        else "*"
+        for cell in meta.cells
+    )
+
+
+def figure1_table(database: Database, catalog: PermissionCatalog,
+                  relation: str) -> str:
+    """One contiguous R / R' table as in Figure 1."""
+    schema = database.schema.get(relation)
+    headers = ["VIEW", *schema.attribute_names]
+    rows: List[Tuple[str, ...]] = []
+    for values in database.instance(relation).rows:
+        rows.append(("", *(str(v) for v in values)))
+    for view_name, meta in catalog.meta_relation_rows(relation):
+        rows.append((view_name, *meta_tuple_cells(meta)))
+    return ascii_table(headers, rows)
+
+
+def comparison_table(catalog: PermissionCatalog,
+                     view_names=None) -> str:
+    """The COMPARISON auxiliary relation."""
+    rows = catalog.comparison_rows(view_names)
+    return ascii_table(["VIEW", "X", "COMPARE", "Y"], rows)
+
+
+def permission_table(catalog: PermissionCatalog) -> str:
+    """The PERMISSION auxiliary relation."""
+    return ascii_table(["USER", "VIEW"], catalog.permission_rows())
+
+
+def mask_table(table: MaskTable, show_views: bool = False) -> str:
+    """An intermediate or final A' table."""
+    headers = list(table.labels())
+    if show_views:
+        headers = ["VIEW", *headers]
+    rows = []
+    for row in table.rows:
+        cells = meta_tuple_cells(row.meta)
+        if show_views:
+            rows.append((row.meta.view_label(), *cells))
+        else:
+            rows.append(cells)
+    return ascii_table(headers, rows)
+
+
+def pruned_meta_table(relation: str, labels: Sequence[str],
+                      tuples: Sequence[MetaTuple]) -> str:
+    """A pruned meta-relation (the per-example Section 5 displays)."""
+    headers = ["VIEW", *labels]
+    rows = [
+        (meta.view_label(), *meta_tuple_cells(meta)) for meta in tuples
+    ]
+    return ascii_table(headers, rows)

@@ -1,0 +1,39 @@
+"""S11 — extensions sketched in the paper's Section 6.
+
+* :mod:`repro.extensions.updates` — update permissions (insert, delete,
+  modify) layered on retrieval masks.
+* :mod:`repro.extensions.disjunction` — views with disjunctions.
+* :mod:`repro.extensions.closure` — existential-closure excuse for the
+  dangling-reference pruning.
+"""
+
+from repro.extensions.aggregates import (
+    AggregateAnswer,
+    AggregateAuthorizer,
+    AggregateFunction,
+    AggregateSpec,
+    AggregateView,
+)
+from repro.extensions.closure import make_excuse
+from repro.extensions.disjunction import (
+    DisjunctiveView,
+    define_disjunctive_view,
+    permit_disjunctive,
+    revoke_disjunctive,
+)
+from repro.extensions.updates import UpdateAuthorizer, UpdateDecision
+
+__all__ = [
+    "AggregateAnswer",
+    "AggregateAuthorizer",
+    "AggregateFunction",
+    "AggregateSpec",
+    "AggregateView",
+    "DisjunctiveView",
+    "UpdateAuthorizer",
+    "UpdateDecision",
+    "define_disjunctive_view",
+    "make_excuse",
+    "permit_disjunctive",
+    "revoke_disjunctive",
+]

@@ -1,0 +1,238 @@
+"""Views with aggregate functions (Section 6, extension 2).
+
+"The current methods can be extended to handle ... views with aggregate
+functions."  This module adds *aggregate views*: a conjunctive core
+(group-by attributes plus one measured attribute) with an aggregate
+function over the measure.  Granting an aggregate view permits the
+**aggregated** relation — group keys and the aggregate value — without
+permitting the underlying rows, the classic statistics-only access of
+the security literature.
+
+Authorization of an aggregate query is sound and conservative, via two
+routes:
+
+1. **Exact aggregate grant** — some granted aggregate view has the same
+   function and an *equivalent* conjunctive core (decided by the
+   containment checker, both directions).  Equivalence, not mere
+   containment: aggregates over a strict subset are not derivable from
+   aggregates over the whole (a SUM over Acme's projects says nothing
+   about the SUM over the large Acme projects).
+2. **Derivable from visible cells** — the user's ordinary (row-level)
+   mask fully covers every group-by and measure cell of the core's
+   answer; then the user could compute the aggregate from data already
+   permitted, so delivering it grants nothing new.
+
+Anything else is denied outright — aggregate answers cannot be
+partially masked meaningfully.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from repro.calculus.ast import Query, ViewDefinition
+from repro.calculus.containment import are_equivalent
+from repro.core.mask import MASKED
+from repro.errors import AuthorizationError, SafetyError
+from repro.lang.parser import parse_query, parse_view
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core.engine
+    from repro.core.engine import AuthorizationEngine
+
+
+class AggregateFunction(enum.Enum):
+    """The aggregate functions supported."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+    def apply(self, values: List) -> Union[int, float]:
+        if self is AggregateFunction.COUNT:
+            return len(values)
+        if not values:
+            raise AuthorizationError(
+                f"{self.value} over an empty group is undefined"
+            )
+        if self is AggregateFunction.SUM:
+            return sum(values)
+        if self is AggregateFunction.MIN:
+            return min(values)
+        if self is AggregateFunction.MAX:
+            return max(values)
+        return sum(values) / len(values)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate over a conjunctive core.
+
+    The core's target list must be the group-by attributes followed by
+    exactly one measured attribute (the aggregate's input).  For COUNT
+    the measure still identifies what is being counted.
+    """
+
+    core: Query
+    function: AggregateFunction
+
+    def __post_init__(self) -> None:
+        if len(self.core.target) < 1:
+            raise SafetyError("aggregate core needs a measured attribute")
+
+    @property
+    def group_width(self) -> int:
+        return len(self.core.target) - 1
+
+    def labels(self) -> Tuple[str, ...]:
+        groups = tuple(
+            ref.attribute for ref in self.core.target[:-1]
+        )
+        measure = self.core.target[-1].attribute
+        return groups + (f"{self.function}({measure})",)
+
+
+@dataclass(frozen=True)
+class AggregateView:
+    """A named, grantable aggregate permission."""
+
+    name: str
+    spec: AggregateSpec
+
+
+@dataclass(frozen=True)
+class AggregateAnswer:
+    """The delivered aggregated relation."""
+
+    labels: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]
+    route: str  # "aggregate view NAME" or "derived from visible cells"
+
+    def render(self) -> str:
+        widths = [len(label) for label in self.labels]
+        body = [tuple(str(v) for v in row) for row in self.rows]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        out = [line(self.labels),
+               "-+-".join("-" * w for w in widths)]
+        out.extend(line(row) for row in body)
+        out.append(f"-- via {self.route}")
+        return "\n".join(out)
+
+
+class AggregateAuthorizer:
+    """Grants and authorizes aggregate access on top of an engine."""
+
+    def __init__(self, engine: "AuthorizationEngine"):
+        self.engine = engine
+        self._views: Dict[str, AggregateView] = {}
+        self._grants: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # definition and grants
+    # ------------------------------------------------------------------
+
+    def define(self, name: str, core: Union[Query, ViewDefinition, str],
+               function: AggregateFunction) -> AggregateView:
+        """Define an aggregate view over a conjunctive core."""
+        if isinstance(core, str):
+            parsed = parse_view(core) if core.lstrip().startswith("view") \
+                else parse_query(core)
+            core = parsed
+        if isinstance(core, ViewDefinition):
+            core = core.as_query()
+        if name in self._views:
+            raise SafetyError(f"aggregate view {name!r} already defined")
+        view = AggregateView(name, AggregateSpec(core, function))
+        self._views[name] = view
+        return view
+
+    def permit(self, name: str, user: str) -> None:
+        if name not in self._views:
+            raise SafetyError(f"unknown aggregate view {name!r}")
+        granted = self._grants.setdefault(user, [])
+        if name not in granted:
+            granted.append(name)
+
+    def revoke(self, name: str, user: str) -> None:
+        granted = self._grants.get(user, [])
+        if name in granted:
+            granted.remove(name)
+
+    def views_of(self, user: str) -> Tuple[str, ...]:
+        return tuple(self._grants.get(user, ()))
+
+    # ------------------------------------------------------------------
+    # authorization
+    # ------------------------------------------------------------------
+
+    def authorize(self, user: str,
+                  spec: AggregateSpec) -> AggregateAnswer:
+        """Authorize and evaluate an aggregate request.
+
+        Raises:
+            AuthorizationError: when neither route applies.
+        """
+        route = self._matching_grant(user, spec)
+        if route is None and not self._derivable_from_visible(user, spec):
+            raise AuthorizationError(
+                "aggregate request is neither granted exactly nor "
+                "derivable from the user's visible cells"
+            )
+        rows = self._evaluate(spec)
+        return AggregateAnswer(
+            labels=spec.labels(),
+            rows=rows,
+            route=(f"aggregate view {route}" if route
+                   else "derived from visible cells"),
+        )
+
+    def _matching_grant(self, user: str,
+                        spec: AggregateSpec) -> Optional[str]:
+        schema = self.engine.database.schema
+        for name in self.views_of(user):
+            view = self._views[name]
+            if view.spec.function is not spec.function:
+                continue
+            if view.spec.group_width != spec.group_width:
+                continue
+            if are_equivalent(view.spec.core, spec.core, schema):
+                return name
+        return None
+
+    def _derivable_from_visible(self, user: str,
+                                spec: AggregateSpec) -> bool:
+        """Every group/measure cell of the core answer is visible."""
+        answer = self.engine.authorize(user, spec.core)
+        if answer.answer.cardinality == 0:
+            return True  # nothing to reveal
+        return all(
+            value is not MASKED
+            for row in answer.delivered for value in row
+        ) and len(answer.delivered) == answer.answer.cardinality
+
+    def _evaluate(self, spec: AggregateSpec) -> Tuple[Tuple, ...]:
+        from repro.algebra.optimize import evaluate_optimized
+        from repro.calculus.to_algebra import compile_query
+
+        plan = compile_query(spec.core, self.engine.database.schema)
+        relation = evaluate_optimized(plan, self.engine.database)
+        width = spec.group_width
+        groups: Dict[Tuple, List] = {}
+        for row in relation.rows:
+            groups.setdefault(row[:width], []).append(row[width])
+        return tuple(
+            key + (spec.function.apply(values),)
+            for key, values in sorted(groups.items(), key=lambda g: g[0])
+        )

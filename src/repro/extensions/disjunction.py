@@ -1,0 +1,92 @@
+"""Views with disjunctions (Section 6, extension 2).
+
+"This restriction can be relaxed in several ways.  For example, the
+current methods can be extended to handle views with disjunctions."
+
+A disjunctive view is a union of conjunctive *branches* over the same
+target shape.  The extension encodes each branch as a separate
+conjunctive view (sharing a family name) and grants them together.
+Soundness: every branch ``sigma_Pi`` is itself a view of the union
+``sigma_(P1 or P2 or ...)`` — selecting ``Pi`` over the union yields
+exactly the branch, provided the branch's selection attributes are
+projected (the same "include the selection attributes" advice the
+paper gives for conjunctive views).  Masks therefore derive branch by
+branch through the unmodified engine, and their union is the
+disjunctive permission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.calculus.ast import ViewDefinition
+from repro.errors import SafetyError
+from repro.lang.parser import parse_view
+from repro.meta.catalog import PermissionCatalog
+
+
+@dataclass(frozen=True)
+class DisjunctiveView:
+    """A named union of conjunctive branches."""
+
+    name: str
+    branch_names: Tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.branch_names)
+
+
+def define_disjunctive_view(
+    catalog: PermissionCatalog,
+    name: str,
+    branches: Sequence[Union[ViewDefinition, str]],
+) -> DisjunctiveView:
+    """Define a disjunctive view as a family of conjunctive branches.
+
+    Branch views are registered as ``NAME#1``, ``NAME#2``, ... and must
+    share the same target shape (same attribute labels, in order) —
+    a union of differently-shaped relations is not a view.
+
+    Raises:
+        SafetyError: when branches disagree on the target shape.
+    """
+    parsed: List[ViewDefinition] = []
+    for branch in branches:
+        if isinstance(branch, str):
+            branch = parse_view(branch)
+        parsed.append(branch)
+    if not parsed:
+        raise SafetyError("a disjunctive view needs at least one branch")
+
+    shapes = {
+        tuple(ref.attribute for ref in branch.target) for branch in parsed
+    }
+    if len(shapes) != 1:
+        raise SafetyError(
+            f"branches of {name!r} disagree on the target shape: {shapes}"
+        )
+
+    branch_names = []
+    for i, branch in enumerate(parsed, start=1):
+        branch_name = f"{name}#{i}"
+        catalog.define_view(ViewDefinition(
+            branch_name, branch.target, branch.conditions
+        ))
+        branch_names.append(branch_name)
+    return DisjunctiveView(name, tuple(branch_names))
+
+
+def permit_disjunctive(catalog: PermissionCatalog, view: DisjunctiveView,
+                       user: str) -> None:
+    """Grant every branch of ``view`` to ``user``."""
+    for branch_name in view.branch_names:
+        catalog.permit(branch_name, user)
+
+
+def revoke_disjunctive(catalog: PermissionCatalog, view: DisjunctiveView,
+                       user: str) -> None:
+    """Withdraw every branch of ``view`` from ``user``."""
+    for branch_name in view.branch_names:
+        catalog.revoke(branch_name, user)

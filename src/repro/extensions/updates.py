@@ -1,0 +1,205 @@
+"""Update permissions (Section 6, extension 1).
+
+"Currently, the model incorporates only retrieval permissions.  We see
+no difficulty in extending it to incorporate update permissions, such
+as insert, delete and modify."  This module is that extension, layered
+on retrieval masks with a conservative reading:
+
+* **insert** — the user may insert a row into R iff the mask for
+  ``retrieve R.*`` would make *every* cell of the hypothetical row
+  visible: inserting a row one could not fully see would let the user
+  both fabricate and probe data outside their permissions.
+* **delete** — the user may delete exactly the rows of R they can see
+  in full; a strict mode refuses the statement when its qualification
+  also matches rows outside the user's view.
+* **modify** — delete-visibility of the old row plus insert-visibility
+  of the new row.
+
+The paper's own caveat stands and is inherited: propagating *view*
+updates to base relations is unsolvable in general; this extension
+authorizes updates addressed directly at base relations, which is the
+paper's usage model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.algebra.relation import Row
+from repro.calculus.ast import AttrRef, Condition, Query
+from repro.core.mask import Mask
+from repro.errors import AuthorizationError
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core.engine
+    from repro.core.engine import AuthorizationEngine
+
+
+@dataclass(frozen=True)
+class UpdateDecision:
+    """The outcome of an update request."""
+
+    allowed: bool
+    affected: Tuple[Row, ...]
+    reason: str
+
+
+class UpdateAuthorizer:
+    """Insert/delete/modify authorization over an engine's masks."""
+
+    def __init__(self, engine: "AuthorizationEngine", strict: bool = True):
+        self.engine = engine
+        #: In strict mode a delete/modify whose qualification matches
+        #: any row the user cannot fully see is refused outright; in
+        #: lenient mode it silently affects only the visible rows.
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _full_row_mask(self, user: str, relation: str,
+                       conditions: Sequence[Condition] = ()) -> Mask:
+        schema = self.engine.database.schema.get(relation)
+        target = tuple(
+            AttrRef(relation, name) for name in schema.attribute_names
+        )
+        derivation = self.engine.derive(
+            user, Query(target, tuple(conditions))
+        )
+        assert derivation.mask is not None
+        return Mask.from_table(derivation.mask)
+
+    def _fully_visible(self, mask: Mask, row: Row, arity: int) -> bool:
+        return len(mask.visible_positions(row)) == arity
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+
+    def check_insert(self, user: str, relation: str,
+                     row: Row) -> UpdateDecision:
+        """May ``user`` insert ``row`` into ``relation``?"""
+        schema = self.engine.database.schema.get(relation)
+        mask = self._full_row_mask(user, relation)
+        if self._fully_visible(mask, tuple(row), schema.arity):
+            return UpdateDecision(True, (tuple(row),),
+                                  "row lies within the permitted views")
+        return UpdateDecision(
+            False, (),
+            "the row is not fully covered by the user's views",
+        )
+
+    def insert(self, user: str, relation: str, row: Row) -> None:
+        """Insert after authorization.
+
+        Raises:
+            AuthorizationError: when the insert is not permitted.
+        """
+        decision = self.check_insert(user, relation, row)
+        if not decision.allowed:
+            raise AuthorizationError(
+                f"insert into {relation} denied: {decision.reason}"
+            )
+        self.engine.database.insert(relation, tuple(row))
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def check_delete(self, user: str, relation: str,
+                     conditions: Sequence[Condition] = ()) -> UpdateDecision:
+        """Which rows matching ``conditions`` may ``user`` delete?"""
+        schema = self.engine.database.schema.get(relation)
+        target = tuple(
+            AttrRef(relation, name) for name in schema.attribute_names
+        )
+        answer = self.engine.authorize(
+            user, Query(target, tuple(conditions))
+        )
+        mask = answer.mask
+        visible: List[Row] = []
+        hidden = 0
+        for row in answer.answer.rows:
+            if self._fully_visible(mask, row, schema.arity):
+                visible.append(row)
+            else:
+                hidden += 1
+        if hidden and self.strict:
+            return UpdateDecision(
+                False, (),
+                f"qualification matches {hidden} row(s) outside the "
+                "user's views (strict mode refuses)",
+            )
+        return UpdateDecision(
+            True, tuple(visible),
+            "deleting the fully visible rows",
+        )
+
+    def delete(self, user: str, relation: str,
+               conditions: Sequence[Condition] = ()) -> int:
+        """Delete after authorization; returns rows removed.
+
+        Raises:
+            AuthorizationError: in strict mode, when the qualification
+                reaches beyond the user's views.
+        """
+        decision = self.check_delete(user, relation, conditions)
+        if not decision.allowed:
+            raise AuthorizationError(
+                f"delete from {relation} denied: {decision.reason}"
+            )
+        return self.engine.database.delete(relation, decision.affected)
+
+    # ------------------------------------------------------------------
+    # modify
+    # ------------------------------------------------------------------
+
+    def check_modify(self, user: str, relation: str,
+                     conditions: Sequence[Condition],
+                     updates: Dict[str, object]) -> UpdateDecision:
+        """May ``user`` apply ``updates`` to the rows matching
+        ``conditions``?"""
+        schema = self.engine.database.schema.get(relation)
+        delete_decision = self.check_delete(user, relation, conditions)
+        if not delete_decision.allowed:
+            return delete_decision
+
+        indices = {
+            name: schema.index_of(name) for name in updates
+        }
+        insert_mask = self._full_row_mask(user, relation)
+        new_rows: List[Row] = []
+        for row in delete_decision.affected:
+            cells = list(row)
+            for name, value in updates.items():
+                cells[indices[name]] = value
+            new_row = tuple(cells)
+            if not self._fully_visible(insert_mask, new_row, schema.arity):
+                return UpdateDecision(
+                    False, (),
+                    "a modified row would leave the user's views",
+                )
+            new_rows.append(new_row)
+        return UpdateDecision(True, tuple(new_rows),
+                              "old and new rows both within the views")
+
+    def modify(self, user: str, relation: str,
+               conditions: Sequence[Condition],
+               updates: Dict[str, object]) -> int:
+        """Modify after authorization; returns rows changed.
+
+        Raises:
+            AuthorizationError: when either side of the modification
+                leaves the user's views.
+        """
+        decision = self.check_modify(user, relation, conditions, updates)
+        if not decision.allowed:
+            raise AuthorizationError(
+                f"modify {relation} denied: {decision.reason}"
+            )
+        old = self.check_delete(user, relation, conditions).affected
+        removed = self.engine.database.delete(relation, old)
+        for row in decision.affected:
+            self.engine.database.insert(relation, row)
+        return removed

@@ -1,0 +1,44 @@
+"""S3 — the statement language.
+
+Lexer, parser and pretty-printer for the paper's surface syntax:
+``view``, ``retrieve``, ``permit``, ``revoke`` statements with
+occurrence-qualified attribute references (``EMPLOYEE:2.NAME``),
+thousands-separated numbers (``250,000``) and bare string constants
+(``Acme``).
+"""
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import (
+    DeleteCommand,
+    InsertCommand,
+    ModifyCommand,
+    PermitCommand,
+    PermitViewCommand,
+    RevokeCommand,
+    Statement,
+    parse_program,
+    parse_query,
+    parse_statement,
+    parse_view,
+)
+from repro.lang.printer import format_statement
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+__all__ = [
+    "DeleteCommand",
+    "InsertCommand",
+    "KEYWORDS",
+    "ModifyCommand",
+    "PermitCommand",
+    "PermitViewCommand",
+    "RevokeCommand",
+    "Statement",
+    "Token",
+    "TokenKind",
+    "format_statement",
+    "parse_program",
+    "parse_query",
+    "parse_statement",
+    "parse_view",
+    "tokenize",
+]

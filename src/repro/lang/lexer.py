@@ -1,0 +1,118 @@
+"""Lexer for the statement language.
+
+Follows the paper's surface conventions:
+
+* numbers may use thousands separators (``250,000``) and decimals;
+* string constants may be quoted (``'bq-45'``) or bare identifiers in
+  constant position (``Acme`` — the parser decides constant-ness);
+* bare identifiers admit interior dashes (``bq-45``) so the paper's
+  project numbers can be written unquoted;
+* the mathematical comparator glyphs of the paper are accepted
+  alongside their ASCII spellings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import ParseError
+from repro.lang.tokens import Token, TokenKind
+
+# Order matters: longest comparators first so '<=' wins over '<'.
+_COMPARATORS = ("<=", ">=", "!=", "<>", "==", "<", ">", "=", "≤", "≥", "≠")
+
+_NUMBER = re.compile(
+    r"-?\d{1,3}(?:,\d{3})+(?:\.\d+)?"  # 250,000 style
+    r"|-?\d+(?:\.\d+)?"                # plain
+)
+# Identifiers: letters/underscore start, then alnum/underscore, with
+# interior dash groups (bq-45) as long as each group starts alnum.
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*(?:-[A-Za-z0-9_]+)*")
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    ":": TokenKind.COLON,
+    "*": TokenKind.STAR,
+    ";": TokenKind.SEMICOLON,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``, appending an END sentinel.
+
+    Raises:
+        ParseError: on any character that starts no token.
+    """
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    length = len(text)
+
+    while position < length:
+        char = text[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and text[position:position + 2] == "--":
+            # Comment to end of line.
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+
+        matched = False
+        for spelling in _COMPARATORS:
+            if text.startswith(spelling, position):
+                tokens.append(Token(TokenKind.COMPARE, spelling, spelling,
+                                    position, line))
+                position += len(spelling)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if char in ("'", '"'):
+            end = text.find(char, position + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal",
+                                 position, line)
+            literal = text[position + 1:end]
+            tokens.append(Token(TokenKind.STRING, text[position:end + 1],
+                                literal, position, line))
+            position = end + 1
+            continue
+
+        number = _NUMBER.match(text, position)
+        if number and (char.isdigit()
+                       or (char == "-" and number.end() > position + 1)):
+            raw = number.group(0)
+            cleaned = raw.replace(",", "")
+            value = float(cleaned) if "." in cleaned else int(cleaned)
+            tokens.append(Token(TokenKind.NUMBER, raw, value, position, line))
+            position = number.end()
+            continue
+
+        ident = _IDENT.match(text, position)
+        if ident:
+            raw = ident.group(0)
+            tokens.append(Token(TokenKind.IDENT, raw, raw, position, line))
+            position = ident.end()
+            continue
+
+        if char in _SINGLE:
+            tokens.append(Token(_SINGLE[char], char, char, position, line))
+            position += 1
+            continue
+
+        raise ParseError(f"unexpected character {char!r}", position, line)
+
+    tokens.append(Token(TokenKind.END, "", "", length, line))
+    return tokens

@@ -1,0 +1,410 @@
+"""Recursive-descent parser for the statement language.
+
+Grammar (keywords case-insensitive)::
+
+    statement  := view | retrieve | permit | revoke
+    view       := "view" IDENT "(" attrs ")" [where]
+    retrieve   := "retrieve" "(" attrs ")" [where]
+    permit     := "permit" names "to" names
+    revoke     := "revoke" names "from" names
+    where      := "where" condition ("and" condition)*
+    condition  := term CMP term
+    attrs      := attr ("," attr)*
+    attr       := IDENT [":" NUMBER] "." IDENT
+    term       := attr | NUMBER | STRING | IDENT      -- bare constant
+    names      := IDENT ("," IDENT)*
+
+A bare identifier in term position that is not followed by ``.`` or
+``:`` is a string constant, which lets the paper's unquoted constants
+(``PROJECT.SPONSOR = Acme``) parse as written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.calculus.ast import (
+    AttrRef,
+    Condition,
+    ConstTerm,
+    Query,
+    Term,
+    ViewDefinition,
+)
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+from repro.predicates.comparators import comparator_from_spelling
+
+
+@dataclass(frozen=True)
+class PermitCommand:
+    """``permit V1, V2 to U1, U2`` — grant views to users."""
+
+    views: Tuple[str, ...]
+    users: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"permit {', '.join(self.views)} to {', '.join(self.users)}"
+
+
+@dataclass(frozen=True)
+class PermitViewCommand:
+    """``permit (R.A, R.B) [where ...] to U`` — grant an anonymous view.
+
+    The same shape the system *emits* as inferred permit statements,
+    accepted as input: the front end materializes it as a view with a
+    generated name and grants it, keeping the permission language
+    closed under its own output.
+    """
+
+    target: Tuple[AttrRef, ...]
+    conditions: Tuple[Condition, ...]
+    users: Tuple[str, ...]
+
+    def as_view(self, name: str) -> ViewDefinition:
+        return ViewDefinition(name, self.target, self.conditions)
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.target)
+        text = f"permit ({head})"
+        if self.conditions:
+            text += " where " + " and ".join(
+                str(c) for c in self.conditions
+            )
+        return text + f" to {', '.join(self.users)}"
+
+
+@dataclass(frozen=True)
+class RevokeCommand:
+    """``revoke V1 from U1`` — withdraw grants."""
+
+    views: Tuple[str, ...]
+    users: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"revoke {', '.join(self.views)} from {', '.join(self.users)}"
+
+
+@dataclass(frozen=True)
+class InsertCommand:
+    """``insert into R values (v1, v2, ...)`` — Section 6(1)."""
+
+    relation: str
+    values: Tuple
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_render_literal(v) for v in self.values)
+        return f"insert into {self.relation} values ({rendered})"
+
+
+@dataclass(frozen=True)
+class DeleteCommand:
+    """``delete from R [where ...]`` — Section 6(1)."""
+
+    relation: str
+    conditions: Tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        text = f"delete from {self.relation}"
+        if self.conditions:
+            text += " where " + " and ".join(
+                str(c) for c in self.conditions
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class ModifyCommand:
+    """``modify R set A = v [, B = w] [where ...]`` — Section 6(1)."""
+
+    relation: str
+    updates: Tuple[Tuple[str, object], ...]
+    conditions: Tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        sets = ", ".join(
+            f"{name} = {_render_literal(value)}"
+            for name, value in self.updates
+        )
+        text = f"modify {self.relation} set {sets}"
+        if self.conditions:
+            text += " where " + " and ".join(
+                str(c) for c in self.conditions
+            )
+        return text
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+Statement = Union[ViewDefinition, Query, PermitCommand,
+                  PermitViewCommand, RevokeCommand,
+                  InsertCommand, DeleteCommand, ModifyCommand]
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- primitives ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(f"{message}, found {token}", token.position,
+                          token.line)
+
+    def expect(self, kind: TokenKind) -> Token:
+        if self.peek().kind is not kind:
+            raise self.error(f"expected {kind.value}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.peek().is_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_name(self) -> str:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self.error("expected a name")
+        if token.text.lower() in KEYWORDS:
+            raise self.error(f"reserved word {token.text!r} used as a name")
+        return str(self.advance().value)
+
+    # -- grammar productions -------------------------------------------
+
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("view"):
+            return self.view_statement()
+        if token.is_keyword("retrieve"):
+            return self.retrieve_statement()
+        if token.is_keyword("permit"):
+            return self.permit_statement()
+        if token.is_keyword("revoke"):
+            return self.revoke_statement()
+        if token.is_keyword("insert"):
+            return self.insert_statement()
+        if token.is_keyword("delete"):
+            return self.delete_statement()
+        if token.is_keyword("modify"):
+            return self.modify_statement()
+        raise self.error(
+            "expected 'view', 'retrieve', 'permit', 'revoke', "
+            "'insert', 'delete' or 'modify'"
+        )
+
+    def insert_statement(self) -> InsertCommand:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        relation = self.expect_name()
+        self.accept_keyword("values")
+        self.expect(TokenKind.LPAREN)
+        values = [self.literal()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            values.append(self.literal())
+        self.expect(TokenKind.RPAREN)
+        return InsertCommand(relation, tuple(values))
+
+    def delete_statement(self) -> DeleteCommand:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        relation = self.expect_name()
+        conditions = self.optional_where()
+        return DeleteCommand(relation, conditions)
+
+    def modify_statement(self) -> ModifyCommand:
+        self.expect_keyword("modify")
+        relation = self.expect_name()
+        self.expect_keyword("set")
+        updates = [self.assignment()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            updates.append(self.assignment())
+        conditions = self.optional_where()
+        return ModifyCommand(relation, tuple(updates), conditions)
+
+    def assignment(self) -> Tuple[str, object]:
+        attribute = self.expect_name()
+        compare = self.expect(TokenKind.COMPARE)
+        if compare.text not in ("=", "=="):
+            raise ParseError("assignments use '='", compare.position,
+                             compare.line)
+        return (attribute, self.literal())
+
+    def literal(self):
+        token = self.peek()
+        if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            self.advance()
+            return token.value
+        if token.kind is TokenKind.IDENT \
+                and token.text.lower() not in KEYWORDS:
+            self.advance()
+            return str(token.value)
+        raise self.error("expected a literal value")
+
+    def view_statement(self) -> ViewDefinition:
+        self.expect_keyword("view")
+        name = self.expect_name()
+        target = self.attr_list()
+        conditions = self.optional_where()
+        return ViewDefinition(name, target, conditions)
+
+    def retrieve_statement(self) -> Query:
+        self.expect_keyword("retrieve")
+        target = self.attr_list()
+        conditions = self.optional_where()
+        return Query(target, conditions)
+
+    def permit_statement(self) -> Union[PermitCommand, PermitViewCommand]:
+        self.expect_keyword("permit")
+        if self.peek().kind is TokenKind.LPAREN:
+            target = self.attr_list()
+            conditions = self.optional_where()
+            self.expect_keyword("to")
+            users = self.name_list()
+            return PermitViewCommand(target, conditions, users)
+        views = self.name_list()
+        self.expect_keyword("to")
+        users = self.name_list()
+        return PermitCommand(views, users)
+
+    def revoke_statement(self) -> RevokeCommand:
+        self.expect_keyword("revoke")
+        views = self.name_list()
+        self.expect_keyword("from")
+        users = self.name_list()
+        return RevokeCommand(views, users)
+
+    def name_list(self) -> Tuple[str, ...]:
+        names = [self.expect_name()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            names.append(self.expect_name())
+        return tuple(names)
+
+    def attr_list(self) -> Tuple[AttrRef, ...]:
+        self.expect(TokenKind.LPAREN)
+        refs = [self.attr_ref()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            refs.append(self.attr_ref())
+        self.expect(TokenKind.RPAREN)
+        return tuple(refs)
+
+    def attr_ref(self) -> AttrRef:
+        relation = self.expect_name()
+        occurrence = 1
+        if self.peek().kind is TokenKind.COLON:
+            self.advance()
+            number = self.expect(TokenKind.NUMBER)
+            if not isinstance(number.value, int) or number.value < 1:
+                raise ParseError("occurrence index must be a positive integer",
+                                 number.position, number.line)
+            occurrence = number.value
+        self.expect(TokenKind.DOT)
+        attribute = self.expect_name()
+        return AttrRef(relation, attribute, occurrence)
+
+    def optional_where(self) -> Tuple[Condition, ...]:
+        if not self.accept_keyword("where"):
+            return ()
+        conditions = [self.condition()]
+        while self.accept_keyword("and"):
+            conditions.append(self.condition())
+        return tuple(conditions)
+
+    def condition(self) -> Condition:
+        lhs = self.term()
+        compare = self.expect(TokenKind.COMPARE)
+        op = comparator_from_spelling(compare.text)
+        rhs = self.term()
+        return Condition(lhs, op, rhs)
+
+    def term(self) -> Term:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ConstTerm(token.value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ConstTerm(token.value)
+        if token.kind is TokenKind.IDENT:
+            # Lookahead: NAME '.' / NAME ':' means an attribute reference;
+            # a lone identifier is a bare string constant (paper style).
+            following = self.tokens[self.index + 1].kind
+            if following in (TokenKind.DOT, TokenKind.COLON):
+                return self.attr_ref()
+            if token.text.lower() in KEYWORDS:
+                raise self.error("expected a term")
+            self.advance()
+            return ConstTerm(str(token.value))
+        raise self.error("expected a term")
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement.
+
+    Raises:
+        ParseError: on malformed input or trailing junk.
+    """
+    parser = _Parser(tokenize(text))
+    statement = parser.statement()
+    while parser.peek().kind is TokenKind.SEMICOLON:
+        parser.advance()
+    if parser.peek().kind is not TokenKind.END:
+        raise parser.error("unexpected input after statement")
+    return statement
+
+
+def parse_program(text: str) -> List[Statement]:
+    """Parse a sequence of statements.
+
+    Statements may be separated by semicolons or simply by starting
+    with a statement keyword; both styles appear in scripts.
+    """
+    parser = _Parser(tokenize(text))
+    statements: List[Statement] = []
+    while parser.peek().kind is not TokenKind.END:
+        statements.append(parser.statement())
+        while parser.peek().kind is TokenKind.SEMICOLON:
+            parser.advance()
+    return statements
+
+
+def parse_query(text: str) -> Query:
+    """Parse text that must be a retrieve statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, Query):
+        raise ParseError("expected a retrieve statement")
+    return statement
+
+
+def parse_view(text: str) -> ViewDefinition:
+    """Parse text that must be a view statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, ViewDefinition):
+        raise ParseError("expected a view statement")
+    return statement

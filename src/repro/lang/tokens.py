@@ -1,0 +1,54 @@
+"""Tokens of the statement language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the surface language."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    COMPARE = "comparator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    STAR = "*"
+    SEMICOLON = ";"
+    END = "end-of-input"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source location.
+
+    ``value`` carries the parsed payload for NUMBER tokens (int or
+    float, thousands separators removed) and the unquoted text for
+    STRING tokens; for other kinds it equals ``text``.
+    """
+
+    kind: TokenKind
+    text: str
+    value: Union[int, float, str]
+    position: int
+    line: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword test (keywords are identifiers)."""
+        return self.kind is TokenKind.IDENT and self.text.lower() == word
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"
+
+
+#: Reserved words of the language (matched case-insensitively).
+KEYWORDS = frozenset({
+    "view", "retrieve", "permit", "revoke", "where", "and", "to", "from",
+    "insert", "into", "values", "delete", "modify", "set",
+})

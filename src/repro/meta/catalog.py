@@ -1,0 +1,215 @@
+"""The permission catalog: meta-relations, COMPARISON and PERMISSION.
+
+Section 3 extends the database with one meta-relation R' per relation
+R, plus two auxiliary relations::
+
+    COMPARISON = (VIEW, X, COMPARE, Y)
+    PERMISSION = (USER, VIEW)
+
+:class:`PermissionCatalog` is that extension.  It owns the view
+definitions (encoded as meta-tuples), the global constraint store
+(COMPARISON), and the user grants (PERMISSION), and serves the pruning
+queries the authorization process needs: "pruned to include only tuples
+of views that the user is permitted to access, and that are defined in
+these relations in their entirety".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.algebra.schema import DatabaseSchema
+from repro.calculus.ast import ViewDefinition
+from repro.errors import DuplicateViewError, UnknownViewError
+from repro.lang.parser import parse_view
+from repro.meta.encode import EncodedView, encode_view
+from repro.meta.metatuple import MetaTuple, TupleId
+from repro.predicates.store import ConstraintStore
+
+
+class PermissionCatalog:
+    """Views, their meta-tuple encodings, and user grants."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._views: Dict[str, EncodedView] = {}
+        self._grants: Dict[str, List[str]] = {}  # user -> view names, in grant order
+        self._var_counter = 0
+        #: Monotonic version, bumped on every mutation; the engine uses
+        #: it to invalidate per-user self-join caches.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # view definition
+    # ------------------------------------------------------------------
+
+    def _fresh_var(self) -> str:
+        self._var_counter += 1
+        return f"x{self._var_counter}"
+
+    def define_view(self, view: Union[ViewDefinition, str]) -> EncodedView:
+        """Define (and encode) a view.
+
+        Accepts either an AST or the surface-syntax text of a ``view``
+        statement.
+
+        Raises:
+            DuplicateViewError: when the name is taken.
+        """
+        if isinstance(view, str):
+            view = parse_view(view)
+        if view.name in self._views:
+            raise DuplicateViewError(view.name)
+        encoded = encode_view(view, self.schema, self._fresh_var)
+        self._views[view.name] = encoded
+        self.version += 1
+        return encoded
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view and every grant that references it."""
+        if name not in self._views:
+            raise UnknownViewError(name)
+        del self._views[name]
+        for user in list(self._grants):
+            self._grants[user] = [v for v in self._grants[user] if v != name]
+            if not self._grants[user]:
+                del self._grants[user]
+        self.version += 1
+
+    def view(self, name: str) -> EncodedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise UnknownViewError(name) from None
+
+    def view_names(self) -> Tuple[str, ...]:
+        return tuple(self._views)
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    # ------------------------------------------------------------------
+    # PERMISSION
+    # ------------------------------------------------------------------
+
+    def permit(self, view_name: str, user: str) -> None:
+        """Grant ``user`` access to ``view_name`` (idempotent)."""
+        if view_name not in self._views:
+            raise UnknownViewError(view_name)
+        granted = self._grants.setdefault(user, [])
+        if view_name not in granted:
+            granted.append(view_name)
+            self.version += 1
+
+    def revoke(self, view_name: str, user: str) -> None:
+        """Withdraw a grant (no-op when absent)."""
+        granted = self._grants.get(user, [])
+        if view_name in granted:
+            granted.remove(view_name)
+            if not granted:
+                del self._grants[user]
+            self.version += 1
+
+    def views_of(self, user: str) -> Tuple[str, ...]:
+        """Views granted to ``user``, in grant order."""
+        return tuple(self._grants.get(user, ()))
+
+    def users(self) -> Tuple[str, ...]:
+        return tuple(self._grants)
+
+    def is_permitted(self, user: str, view_name: str) -> bool:
+        return view_name in self._grants.get(user, ())
+
+    # ------------------------------------------------------------------
+    # pruning services for the authorization process
+    # ------------------------------------------------------------------
+
+    def admissible_views(self, user: str,
+                         relations: Iterable[str]) -> Tuple[str, ...]:
+        """Views permitted to ``user`` and defined entirely within
+        ``relations`` (the stage-one pruning of Section 5's examples)."""
+        universe = frozenset(relations)
+        return tuple(
+            name for name in self.views_of(user)
+            if self.view(name).relation_names() <= universe
+        )
+
+    def tuples_for(self, relation: str,
+                   view_names: Iterable[str]) -> Tuple[MetaTuple, ...]:
+        """Meta-tuples of the given views stored in meta-relation
+        ``relation``', in view/ordinal order."""
+        out: List[MetaTuple] = []
+        for name in view_names:
+            for rel, meta in self.view(name).tuples:
+                if rel == relation:
+                    out.append(meta)
+        return tuple(out)
+
+    def store_for(self, view_names: Iterable[str]) -> ConstraintStore:
+        """The COMPARISON constraints of the given views, merged."""
+        store = ConstraintStore.empty()
+        for name in view_names:
+            store = store.merge(self.view(name).store)
+        return store
+
+    def defining_tuples(self, view_names: Iterable[str]
+                        ) -> Dict[str, FrozenSet[TupleId]]:
+        """The D(x) map of every variable of the given views."""
+        out: Dict[str, FrozenSet[TupleId]] = {}
+        for name in view_names:
+            out.update(self.view(name).defining_tuples)
+        return out
+
+    # ------------------------------------------------------------------
+    # display (the Figure 1 tables)
+    # ------------------------------------------------------------------
+
+    def meta_relation_rows(self, relation: str,
+                           view_names: Optional[Iterable[str]] = None
+                           ) -> Tuple[Tuple[str, MetaTuple], ...]:
+        """(VIEW, meta-tuple) rows of meta-relation ``relation``'.
+
+        Restricted to ``view_names`` when given; definition order
+        otherwise, matching Figure 1.
+        """
+        names = tuple(view_names) if view_names is not None \
+            else self.view_names()
+        rows: List[Tuple[str, MetaTuple]] = []
+        for name in names:
+            for rel, meta in self.view(name).tuples:
+                if rel == relation:
+                    rows.append((name, meta))
+        return tuple(rows)
+
+    def comparison_rows(self, view_names: Optional[Iterable[str]] = None
+                        ) -> Tuple[Tuple[str, str, str, str], ...]:
+        """(VIEW, X, COMPARE, Y) display rows of the COMPARISON relation."""
+        names = tuple(view_names) if view_names is not None \
+            else self.view_names()
+        rows: List[Tuple[str, str, str, str]] = []
+        for name in names:
+            store = self.view(name).store
+            for var in sorted(store.mentioned_vars(),
+                              key=_variable_sort_key):
+                for clause in store.interval_for(var).describe(var):
+                    subject, op, bound = clause.split(" ", 2)
+                    rows.append((name, subject, op, bound))
+            for relation in store.relations():
+                rows.append((name, relation.left, str(relation.op),
+                             relation.right))
+        return tuple(rows)
+
+    def permission_rows(self) -> Tuple[Tuple[str, str], ...]:
+        """(USER, VIEW) display rows of the PERMISSION relation."""
+        rows: List[Tuple[str, str]] = []
+        for user, views in self._grants.items():
+            for view_name in views:
+                rows.append((user, view_name))
+        return tuple(rows)
+
+
+def _variable_sort_key(var: str) -> Tuple[int, str]:
+    """Sort x2 before x10 while tolerating non-numeric names."""
+    if var.startswith("x") and var[1:].isdigit():
+        return (int(var[1:]), "")
+    return (1 << 30, var)

@@ -1,0 +1,112 @@
+"""Meta-cells: the components of meta-tuples (Section 3).
+
+After the paper's rewriting, "each component of the modified subformula
+is either a constant (a value), or a variable, or a blank, and each may
+be suffixed by *".  :class:`MetaCell` is exactly that: a content (the
+shared content model of :mod:`repro.calculus.normalize`) plus the star
+flag marking projection attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.types import Value
+from repro.calculus.normalize import (
+    BLANK,
+    BlankContent,
+    CellContent,
+    ConstContent,
+    VarContent,
+)
+
+#: The glyph the paper uses for blanks.
+BLANK_GLYPH = "⊔"  # ⊔
+
+
+@dataclass(frozen=True)
+class MetaCell:
+    """One component of a meta-tuple: blank/constant/variable, starred?"""
+
+    content: CellContent
+    starred: bool
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def blank(starred: bool = False) -> "MetaCell":
+        return MetaCell(BLANK, starred)
+
+    @staticmethod
+    def constant(value: Value, starred: bool = False) -> "MetaCell":
+        return MetaCell(ConstContent(value), starred)
+
+    @staticmethod
+    def variable(name: str, starred: bool = False) -> "MetaCell":
+        return MetaCell(VarContent(name), starred)
+
+    # -- predicates -----------------------------------------------------
+
+    @property
+    def is_blank(self) -> bool:
+        return isinstance(self.content, BlankContent)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.content, ConstContent)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self.content, VarContent)
+
+    @property
+    def var_name(self) -> Optional[str]:
+        """The variable name, or None for blank/constant cells."""
+        if isinstance(self.content, VarContent):
+            return self.content.var
+        return None
+
+    @property
+    def const_value(self) -> Optional[Value]:
+        """The constant value, or None for blank/variable cells."""
+        if isinstance(self.content, ConstContent):
+            return self.content.value
+        return None
+
+    # -- functional updates ----------------------------------------------
+
+    def cleared(self) -> "MetaCell":
+        """The four-case CLEAR outcome: blank, star preserved.
+
+        "the corresponding field is cleared (i.e., the variable or the
+        constant is replaced by blank)" — Section 4.2.
+        """
+        return MetaCell(BLANK, self.starred)
+
+    def with_content(self, content: CellContent) -> "MetaCell":
+        return MetaCell(content, self.starred)
+
+    def with_star(self, starred: bool = True) -> "MetaCell":
+        return MetaCell(self.content, starred)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, blank_glyph: str = "") -> str:
+        """Paper-style rendering: ``*``, ``Acme*``, ``x1``, blank."""
+        if self.is_blank:
+            body = blank_glyph
+        elif self.is_constant:
+            value = self.const_value
+            if isinstance(value, int) and abs(value) >= 10_000:
+                body = f"{value:,}"
+            else:
+                body = str(value)
+        else:
+            body = self.var_name or ""
+        if self.starred:
+            return body + "*"
+        return body
+
+    def __str__(self) -> str:
+        return self.render(BLANK_GLYPH)

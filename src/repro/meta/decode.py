@@ -1,0 +1,66 @@
+"""Decoding meta-tuples back into permit-statement clauses.
+
+The authorization process ends by describing the delivered portions to
+the user: "the following view definition will inform the user that
+permission exists only for SPONSOR = Acme: permit (NUMBER, SPONSOR)
+where SPONSOR = Acme".  This module derives those clauses from a mask
+meta-tuple and its constraint store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.meta.metatuple import MetaTuple
+from repro.predicates.store import ConstraintStore
+
+
+def permit_clauses(
+    labels: Sequence[str],
+    meta: MetaTuple,
+    store: ConstraintStore,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Derive (visible columns, where clauses) from a mask row.
+
+    * starred cells name the permitted columns;
+    * constant cells contribute ``COL = value`` clauses;
+    * a variable occurring in several cells contributes equality
+      clauses between those columns;
+    * a variable's interval constraints contribute comparison clauses,
+      phrased over the first column carrying the variable;
+    * variable-to-variable relations with both variables in the row
+      contribute ``COL op COL`` clauses.
+    """
+    columns = tuple(
+        labels[i] for i, cell in enumerate(meta.cells) if cell.starred
+    )
+
+    clauses: List[str] = []
+    var_columns: Dict[str, List[str]] = {}
+    for i, cell in enumerate(meta.cells):
+        if cell.is_constant:
+            clauses.append(f"{labels[i]} = {_fmt(cell.const_value)}")
+        name = cell.var_name
+        if name is not None:
+            var_columns.setdefault(name, []).append(labels[i])
+
+    for name, cols in var_columns.items():
+        first = cols[0]
+        for other in cols[1:]:
+            clauses.append(f"{first} = {other}")
+        clauses.extend(store.describe_var(name, first))
+
+    for relation in store.relations():
+        if relation.left in var_columns and relation.right in var_columns:
+            clauses.append(
+                f"{var_columns[relation.left][0]} {relation.op} "
+                f"{var_columns[relation.right][0]}"
+            )
+
+    return columns, tuple(clauses)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,127 @@
+"""Encoding views into meta-tuples (the procedure of Section 3).
+
+Given a normalized view, each relation occurrence yields one meta-tuple
+for the corresponding meta-relation: head positions are starred,
+equality-substituted constants become constant components,
+multi-occurrence variables stay as variables, and single-occurrence
+variables are blanks.  Non-equality comparisons populate the
+COMPARISON store.
+
+Variables are renamed from the view-local ``x1, x2, ...`` to
+catalog-global names so that meta-tuples of different views never share
+a variable accidentally while meta-tuples of the same view share theirs
+by construction — the property the meta-product relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from repro.algebra.schema import DatabaseSchema
+from repro.calculus.ast import ViewDefinition
+from repro.calculus.normalize import (
+    ConstContent,
+    NormalizedView,
+    VarContent,
+    normalize_view,
+)
+from repro.meta.cell import MetaCell
+from repro.meta.metatuple import MetaTuple, TupleId
+from repro.predicates.store import ConstraintStore
+
+
+@dataclass(frozen=True)
+class EncodedView:
+    """A view together with its meta-relation representation.
+
+    Attributes:
+        definition: the original surface AST.
+        normalized: the normalization the encoding was derived from.
+        tuples: one ``(relation name, meta-tuple)`` pair per relation
+            occurrence, in occurrence order.  The i-th pair's meta-tuple
+            has provenance ``{(name, i)}``.
+        store: COMPARISON constraints over the (renamed) view variables.
+        defining_tuples: for every variable, the ids of the meta-tuples
+            whose cells mention it — the ``D(x)`` sets of the
+            dangling-reference pruning.
+    """
+
+    definition: ViewDefinition
+    normalized: NormalizedView
+    tuples: Tuple[Tuple[str, MetaTuple], ...]
+    store: ConstraintStore
+    defining_tuples: Dict[str, FrozenSet[TupleId]]
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset(rel for rel, _ in self.tuples)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self.defining_tuples)
+
+
+def encode_view(
+    view: ViewDefinition,
+    schema: DatabaseSchema,
+    fresh_var: Callable[[], str],
+) -> EncodedView:
+    """Encode ``view`` into meta-tuples.
+
+    ``fresh_var`` supplies catalog-global variable names (the paper
+    numbers them consecutively across views: Figure 1 uses x1..x3 for
+    ELP and x4 for EST).
+    """
+    normalized = normalize_view(view, schema)
+
+    renaming: Dict[str, str] = {}
+    for var in normalized.variables():
+        renaming[var] = fresh_var()
+
+    tuples: List[Tuple[str, MetaTuple]] = []
+    mentions: Dict[str, List[TupleId]] = {}
+
+    position = 0
+    for ordinal, occ in enumerate(normalized.occurrences):
+        width = schema.get(occ.relation).arity
+        cells: List[MetaCell] = []
+        for cell in normalized.cells[position:position + width]:
+            content = cell.content
+            if isinstance(content, VarContent):
+                name = renaming[content.var]
+                cells.append(MetaCell.variable(name, cell.starred))
+                tuple_id: TupleId = (view.name, ordinal)
+                if tuple_id not in mentions.setdefault(name, []):
+                    mentions[name].append(tuple_id)
+            elif isinstance(content, ConstContent):
+                cells.append(MetaCell.constant(content.value, cell.starred))
+            else:
+                cells.append(MetaCell.blank(cell.starred))
+        position += width
+        meta = MetaTuple(
+            views=frozenset([view.name]),
+            cells=tuple(cells),
+            provenance=frozenset([(view.name, ordinal)]),
+        )
+        tuples.append((occ.relation, meta))
+
+    store = normalized.store.rename(renaming)
+    defining = {
+        var: frozenset(ids) for var, ids in mentions.items()
+    }
+    # Variables constrained in the store but absent from all cells can
+    # not occur for encoded views (normalization only names variables
+    # that appear in cells), but guard for robustness.
+    for var in store.mentioned_vars():
+        defining.setdefault(var, frozenset())
+
+    return EncodedView(
+        definition=view,
+        normalized=normalized,
+        tuples=tuple(tuples),
+        store=store,
+        defining_tuples=defining,
+    )

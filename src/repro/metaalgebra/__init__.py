@@ -1,0 +1,39 @@
+"""S6 — the extended meta-algebra (Section 4).
+
+The product, selection and projection operators generalized to
+meta-relations (Definitions 1-3), the three Section 4.2 refinements
+(product padding, four-case selection, self-joins), pruning, and the
+mask-derivation pipeline that mirrors the query's plan over the
+meta-relations.
+"""
+
+from repro.metaalgebra.plan import MaskDerivation, derive_mask
+from repro.metaalgebra.product import meta_product
+from repro.metaalgebra.projection import meta_project
+from repro.metaalgebra.prune import (
+    cleanup,
+    prune_dangling,
+    prune_invisible,
+    prune_unsatisfiable,
+)
+from repro.metaalgebra.selection import FreshVars, meta_select
+from repro.metaalgebra.selfjoin import combine, selfjoin_closure
+from repro.metaalgebra.table import MaskRow, MaskTable, mask_row
+
+__all__ = [
+    "FreshVars",
+    "MaskDerivation",
+    "MaskRow",
+    "MaskTable",
+    "cleanup",
+    "combine",
+    "derive_mask",
+    "mask_row",
+    "meta_product",
+    "meta_project",
+    "meta_select",
+    "prune_dangling",
+    "prune_invisible",
+    "prune_unsatisfiable",
+    "selfjoin_closure",
+]

@@ -1,0 +1,156 @@
+"""Mask derivation: running the query's plan over the meta-relations.
+
+This is the dashed path of the paper's Figure 2: the algebra expression
+S that implements the query is transformed into S' — "a sequence of
+products, followed by selections, and ending with projections" — and
+applied to the meta-relations, yielding the views A' of the answer that
+the user is permitted to access.
+
+Stages (each recorded in :class:`MaskDerivation` so the experiment
+harness can print the paper's intermediate tables):
+
+1. *Stage-one pruning* — keep only meta-tuples of views the user may
+   access that are "defined in these relations in their entirety".
+2. *Self-join closure* (refinement 3, when enabled) — extend each
+   pruned meta-relation with lossless combinations across views.
+3. *Padded product* (Definition 1 + refinement 1).
+4. *Dangling-reference pruning* (Section 4.1), optionally excused by
+   the existential-closure extension.
+5. *Selections* (Definition 2 + refinement 2), in query order.
+6. *Projection* (Definition 3).
+7. *Cleanup* — drop rows that deliver nothing, dedupe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.expression import AtomicCondition, PSJQuery
+from repro.algebra.schema import DatabaseSchema
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.meta.catalog import PermissionCatalog
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.product import meta_product
+from repro.metaalgebra.projection import meta_project
+from repro.metaalgebra.prune import (
+    ExcusePredicate,
+    cleanup,
+    prune_dangling,
+    prune_unsatisfiable,
+)
+from repro.metaalgebra.selection import (
+    FreshVars,
+    SelectionStep,
+    group_conditions,
+    meta_select,
+)
+from repro.metaalgebra.selfjoin import selfjoin_closure
+from repro.metaalgebra.table import MaskTable
+
+
+@dataclass
+class MaskDerivation:
+    """The full trace of one mask derivation."""
+
+    admissible_views: Tuple[str, ...]
+    pruned_meta: Dict[str, Tuple[MetaTuple, ...]]
+    selfjoin_added: Dict[str, Tuple[MetaTuple, ...]]
+    raw_product: MaskTable
+    pruned_product: MaskTable
+    after_selections: List[Tuple[SelectionStep, MaskTable]] = field(
+        default_factory=list
+    )
+    projected: Optional[MaskTable] = None
+    mask: Optional[MaskTable] = None
+
+
+def derive_mask(
+    psj: PSJQuery,
+    schema: DatabaseSchema,
+    catalog: PermissionCatalog,
+    user: str,
+    config: EngineConfig = DEFAULT_CONFIG,
+    excuse: Optional[ExcusePredicate] = None,
+    selfjoin_pool: Optional[Dict[str, Tuple[MetaTuple, ...]]] = None,
+) -> MaskDerivation:
+    """Derive the permission mask for ``user``'s query ``psj``.
+
+    Args:
+        excuse: existential-closure predicate (wired by the engine when
+            ``config.existential_closure`` is set).
+        selfjoin_pool: pre-computed self-join closure per relation (the
+            engine's per-user cache); computed on the fly when absent.
+    """
+    relations = sorted(psj.relation_names())
+    admissible = catalog.admissible_views(user, relations)
+    store = catalog.store_for(admissible)
+    defining = catalog.defining_tuples(admissible)
+
+    admissible_set = frozenset(admissible)
+    pruned_meta: Dict[str, Tuple[MetaTuple, ...]] = {}
+    selfjoin_added: Dict[str, Tuple[MetaTuple, ...]] = {}
+    for relation in relations:
+        originals = catalog.tuples_for(relation, admissible)
+        pruned_meta[relation] = originals
+        if config.self_joins:
+            if selfjoin_pool is not None and relation in selfjoin_pool:
+                # The cached closure spans all of the user's views;
+                # keep only combinations built entirely from views that
+                # are admissible for *this* query (stage-one pruning
+                # applies to combined tuples too).
+                added = tuple(
+                    t for t in selfjoin_pool[relation]
+                    if t.views <= admissible_set
+                )
+            else:
+                added = selfjoin_closure(
+                    schema.get(relation), originals, store,
+                    config.max_selfjoin_rounds,
+                    config.max_selfjoin_tuples,
+                )
+            selfjoin_added[relation] = added
+        else:
+            selfjoin_added[relation] = ()
+
+    columns = psj.product_columns(schema)
+    arities = [schema.get(o.relation).arity for o in psj.occurrences]
+    operands = [
+        list(pruned_meta[o.relation]) + list(selfjoin_added[o.relation])
+        for o in psj.occurrences
+    ]
+
+    product = meta_product(
+        columns, operands, arities, store, padding=config.product_padding
+    )
+
+    derivation = MaskDerivation(
+        admissible_views=admissible,
+        pruned_meta=pruned_meta,
+        selfjoin_added=selfjoin_added,
+        raw_product=product.deduped(),  # display form, provenance-blind
+        pruned_product=product,
+    )
+
+    current = product
+    if config.prune_dangling:
+        current = prune_dangling(
+            current, defining,
+            excuse if config.existential_closure else None,
+        )
+    current = prune_unsatisfiable(current)
+    if config.dedupe:
+        current = current.deduped()
+    derivation.pruned_product = current
+
+    fresh = FreshVars()
+    discrete = [c.domain.discrete for c in columns]
+    for step in group_conditions(psj.conditions, discrete):
+        current = meta_select(current, step, config, fresh)
+        derivation.after_selections.append((step, current))
+
+    current = meta_project(current, psj.output)
+    derivation.projected = current
+
+    derivation.mask = cleanup(current)
+    return derivation

@@ -1,0 +1,37 @@
+"""The meta-relation projection (Definition 3).
+
+"The projection of R' that removes its i'th attribute ... If a_i is
+blank (possibly suffixed with *), then the result includes the
+meta-tuple with the component removed" — meta-tuples whose removed
+component carries a constant or a variable are *dropped*: their
+selection condition would no longer be expressible over the remaining
+attributes ("projection requires the attribute it removes not to be in
+the selection attributes of the meta-tuple").
+
+This is why the Section 4.2 clearing refinement matters: cleared fields
+are blanks, so refined selections let more meta-tuples survive the
+final projection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metaalgebra.table import MaskRow, MaskTable
+
+
+def meta_project(table: MaskTable, keep: Sequence[int]) -> MaskTable:
+    """Project ``table`` onto the columns at ``keep`` (in that order).
+
+    Equivalent to removing every other attribute one at a time with
+    Definition 3; the result is independent of removal order.
+    """
+    keep = tuple(keep)
+    removed = [i for i in range(table.arity) if i not in set(keep)]
+    columns = tuple(table.columns[i] for i in keep)
+
+    rows = []
+    for row in table.rows:
+        if all(row.meta.cells[i].is_blank for i in removed):
+            rows.append(MaskRow(row.meta.project(keep), row.store))
+    return MaskTable(columns, tuple(rows))

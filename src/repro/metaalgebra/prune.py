@@ -1,0 +1,111 @@
+"""Pruning of mask rows.
+
+Section 4.1: after the products are performed, the result "is pruned to
+retain only those meta-tuples that do not contain references to other
+meta-tuples".  A product row references another meta-tuple when one of
+its variables is defined (per the catalog's D(x) map) by a meta-tuple
+that is not among the row's provenance — such a row's selection
+condition mentions "a set of values defined elsewhere" and is not
+expressible within the row, so it cannot be delivered.
+
+The optional existential-closure extension (``repro.extensions.closure``)
+keeps a row whose missing meta-tuple is subsumed by one that *is*
+present — the paper's own EST discussion shows such rows can be sound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.meta.metatuple import MetaTuple, TupleId
+from repro.metaalgebra.table import MaskRow, MaskTable
+
+#: Signature of the existential-closure excuse predicate: given the
+#: row's meta-tuple and one missing defining tuple id, may the row keep
+#: the variable anyway?
+ExcusePredicate = Callable[[MetaTuple, TupleId], bool]
+
+
+def prune_dangling(
+    table: MaskTable,
+    defining: Dict[str, FrozenSet[TupleId]],
+    excuse: Optional[ExcusePredicate] = None,
+) -> MaskTable:
+    """Drop rows containing references to absent meta-tuples."""
+    rows: List[MaskRow] = []
+    for row in table.rows:
+        if _row_is_closed(row, defining, excuse):
+            rows.append(row)
+    return table.with_rows(rows)
+
+
+def _row_is_closed(
+    row: MaskRow,
+    defining: Dict[str, FrozenSet[TupleId]],
+    excuse: Optional[ExcusePredicate],
+) -> bool:
+    provenance = row.meta.provenance
+    for var in row.meta.variables():
+        missing = defining.get(var, frozenset()) - provenance
+        if not missing:
+            continue
+        if excuse is None:
+            return False
+        if not all(excuse(row.meta, tuple_id) for tuple_id in missing):
+            return False
+    return True
+
+
+def prune_unsatisfiable(table: MaskTable) -> MaskTable:
+    """Drop rows whose constraints are provably contradictory."""
+    return table.with_rows(
+        row for row in table.rows if not row.store.is_definitely_unsat()
+    )
+
+
+def prune_invisible(table: MaskTable) -> MaskTable:
+    """Drop rows with no starred cell: they deliver nothing."""
+    return table.with_rows(row for row in table.rows if row.meta.has_stars)
+
+
+def cleanup(table: MaskTable) -> MaskTable:
+    """Final mask hygiene: drop invisible rows, dedupe, drop subsumed rows.
+
+    A mask row is *subsumed* by another when the other stars at least
+    the same columns and places no restriction at all (all blank, no
+    constraints) — then the restricted row adds no visible cell.  Only
+    this cheap, provably sound case is removed; general subsumption is
+    containment checking, which the paper's method deliberately avoids.
+    """
+    table = prune_invisible(table).deduped()
+    unrestricted = [
+        row for row in table.rows
+        if all(c.is_blank for c in row.meta.cells)
+    ]
+    if not unrestricted:
+        return table
+
+    # Widest unrestricted rows first; each kept row covers every later
+    # row (restricted or not) whose stars it contains.
+    unrestricted.sort(
+        key=lambda r: len(r.meta.starred_positions()), reverse=True
+    )
+    kept_star_sets: List[frozenset] = []
+    kept_unrestricted = []
+    for row in unrestricted:
+        stars = frozenset(row.meta.starred_positions())
+        if any(stars <= kept for kept in kept_star_sets):
+            continue
+        kept_star_sets.append(stars)
+        kept_unrestricted.append(row)
+
+    rows = [
+        row for row in table.rows
+        if (row in kept_unrestricted)
+        or (row not in unrestricted
+            and not any(
+                frozenset(row.meta.starred_positions()) <= kept
+                for kept in kept_star_sets
+            ))
+    ]
+    return table.with_rows(rows)

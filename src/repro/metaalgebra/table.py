@@ -1,0 +1,81 @@
+"""Mask tables: intermediate results of the meta-algebra.
+
+A :class:`MaskTable` is what flows between the extended operators: a
+set of mask rows over labelled columns.  Each :class:`MaskRow` pairs a
+meta-tuple with its own constraint store — rows diverge during the
+selection phase (one row's variable may be narrowed or substituted
+while another's is cleared), so constraints cannot stay global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.algebra.relation import Column
+from repro.meta.metatuple import MetaTuple, canonical_key
+from repro.predicates.store import ConstraintStore
+
+
+@dataclass(frozen=True)
+class MaskRow:
+    """One mask meta-tuple with its private constraint store."""
+
+    meta: MetaTuple
+    store: ConstraintStore
+
+    def key(self, include_provenance: bool = False):
+        return canonical_key(self.meta, self.store, include_provenance)
+
+    def __str__(self) -> str:
+        return str(self.meta)
+
+
+@dataclass(frozen=True)
+class MaskTable:
+    """An intermediate (or final) meta-relation over derived columns."""
+
+    columns: Tuple[Column, ...]
+    rows: Tuple[MaskRow, ...]
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(c.label for c in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def with_rows(self, rows: Iterable[MaskRow]) -> "MaskTable":
+        return MaskTable(self.columns, tuple(rows))
+
+    def deduped(self, include_provenance: bool = False) -> "MaskTable":
+        """Remove replicated rows ("after replications are removed").
+
+        Before the dangling-reference pruning, dedupe with
+        ``include_provenance=True``: cell-identical rows with different
+        provenance prune differently and must survive until then.
+        """
+        seen = set()
+        out: List[MaskRow] = []
+        for row in self.rows:
+            key = row.key(include_provenance)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return self.with_rows(out)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def mask_row(meta: MetaTuple,
+             store: ConstraintStore = ConstraintStore.empty()) -> MaskRow:
+    """Convenience constructor."""
+    return MaskRow(meta, store)

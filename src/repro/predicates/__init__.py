@@ -1,0 +1,25 @@
+"""S4 — predicate reasoning.
+
+Comparators, interval algebra over ordered domains, the Section 4.2
+four-case classifier (clear / retain / conjoin / discard), and the
+constraint store that operationalizes the COMPARISON relation.
+"""
+
+from repro.predicates.comparators import (
+    Comparator,
+    comparator_from_spelling,
+)
+from repro.predicates.implication import SelectionCase, classify, conjoined
+from repro.predicates.intervals import Interval
+from repro.predicates.store import ConstraintStore, VarRelation
+
+__all__ = [
+    "Comparator",
+    "ConstraintStore",
+    "Interval",
+    "SelectionCase",
+    "VarRelation",
+    "classify",
+    "comparator_from_spelling",
+    "conjoined",
+]

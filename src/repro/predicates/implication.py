@@ -1,0 +1,62 @@
+"""The four-case analysis of Section 4.2.
+
+Given the stored predicate mu of a meta-tuple field and the predicate
+lambda of the query's selection on the same attribute, Section 4.2
+distinguishes:
+
+* **lambda implies mu** — "the meta-tuple is selected and the
+  corresponding field is cleared": every answer tuple already satisfies
+  mu, so the field carries no information relative to the answer.
+  Clearing lets the meta-tuple survive later projections.
+* **mu implies lambda** — "the meta-tuple is selected without any
+  modification".
+* **lambda and mu contradictory** — "the meta-tuple is discarded": the
+  view is irrelevant to this answer.
+* **otherwise** — "the meta-tuple is selected, and is modified to
+  represent mu AND lambda" (the literal Definition 2 behaviour).
+
+The classifier is conservative: when implication cannot be decided it
+returns :data:`SelectionCase.CONJOIN`, which is always sound.  When
+both implications hold (lambda equivalent to mu) clearing is preferred,
+because "clearing selection predicates ensures that more meta-tuples
+will survive future projections".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.predicates.intervals import Interval
+
+
+class SelectionCase(enum.Enum):
+    """Outcome of comparing query predicate lambda with stored mu."""
+
+    DISCARD = "discard"   # lambda and mu contradictory
+    CLEAR = "clear"       # lambda implies mu
+    RETAIN = "retain"     # mu implies lambda
+    CONJOIN = "conjoin"   # overlap: represent mu AND lambda
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify(mu: Interval, lam: Interval) -> SelectionCase:
+    """Classify query predicate ``lam`` against stored predicate ``mu``.
+
+    The order of checks matters: contradiction dominates (an empty
+    conjunction must discard), and clearing is preferred to retaining
+    when the predicates are equivalent.
+    """
+    if mu.is_disjoint(lam):
+        return SelectionCase.DISCARD
+    if lam.is_subset(mu):
+        return SelectionCase.CLEAR
+    if mu.is_subset(lam):
+        return SelectionCase.RETAIN
+    return SelectionCase.CONJOIN
+
+
+def conjoined(mu: Interval, lam: Interval) -> Interval:
+    """The predicate ``mu AND lambda`` for the CONJOIN case."""
+    return mu.intersect(lam)

@@ -1,0 +1,309 @@
+"""Interval abstraction for one-variable conjunctive predicates.
+
+The four-case selection refinement of Section 4.2 needs to decide, for
+a query predicate lambda and a stored view predicate mu over the same
+attribute, whether lambda implies mu, mu implies lambda, the two are
+contradictory, or neither.  For the conjunctive comparators of the
+paper (<, <=, >, >=, =, !=) over a totally ordered domain, every
+one-variable conjunction denotes an interval with a finite set of
+excluded points — which is exactly what :class:`Interval` represents.
+
+All decision procedures here are *conservative*: they answer True only
+when the property provably holds.  A conservative "don't know" makes
+the engine fall back to the always-sound conjoin case, never to an
+unsound one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.algebra.types import Domain, Value
+from repro.errors import TypeMismatchError
+from repro.predicates.comparators import Comparator
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded) interval with excluded points.
+
+    ``lo``/``hi`` of ``None`` mean unbounded on that side.  ``excluded``
+    holds points removed by ``!=`` constraints.  ``discrete`` marks
+    integer-like domains where strict bounds can be tightened.
+    """
+
+    lo: Optional[Value] = None
+    lo_strict: bool = False
+    hi: Optional[Value] = None
+    hi_strict: bool = False
+    excluded: FrozenSet[Value] = field(default_factory=frozenset)
+    discrete: bool = False
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def top(discrete: bool = False) -> "Interval":
+        """The unconstrained interval (predicate ``true``)."""
+        return Interval(discrete=discrete)
+
+    @staticmethod
+    def point(value: Value, discrete: bool = False) -> "Interval":
+        """The interval containing exactly ``value`` (predicate ``= value``)."""
+        return Interval(lo=value, hi=value, discrete=discrete)
+
+    @staticmethod
+    def from_comparison(op: Comparator, value: Value,
+                        discrete: bool = False) -> "Interval":
+        """The interval denoted by ``x op value``."""
+        if op is Comparator.EQ:
+            return Interval.point(value, discrete)
+        if op is Comparator.NE:
+            return Interval(excluded=frozenset([value]), discrete=discrete)
+        if op is Comparator.LT:
+            return Interval(hi=value, hi_strict=True, discrete=discrete)
+        if op is Comparator.LE:
+            return Interval(hi=value, discrete=discrete)
+        if op is Comparator.GT:
+            return Interval(lo=value, lo_strict=True, discrete=discrete)
+        if op is Comparator.GE:
+            return Interval(lo=value, discrete=discrete)
+        raise TypeMismatchError(f"unsupported comparator {op}")
+
+    @staticmethod
+    def for_domain(domain: Domain) -> "Interval":
+        """The top interval parameterized by ``domain``'s discreteness."""
+        return Interval.top(discrete=domain.discrete)
+
+    # ------------------------------------------------------------------
+    # normalization
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> "Interval":
+        """Tighten strict integer bounds and absorb excluded endpoints.
+
+        ``x > 3`` over integers becomes ``x >= 4``; an excluded point
+        equal to a closed endpoint turns the bound strict (then
+        tightens again when discrete).
+        """
+        lo, lo_strict = self.lo, self.lo_strict
+        hi, hi_strict = self.hi, self.hi_strict
+        excluded = set(self.excluded)
+
+        changed = True
+        while changed:
+            changed = False
+            if self.discrete and lo is not None and lo_strict \
+                    and isinstance(lo, int):
+                lo, lo_strict = lo + 1, False
+                changed = True
+            if self.discrete and hi is not None and hi_strict \
+                    and isinstance(hi, int):
+                hi, hi_strict = hi - 1, False
+                changed = True
+            if lo is not None and not lo_strict and lo in excluded:
+                excluded.discard(lo)
+                lo_strict = True
+                changed = True
+            if hi is not None and not hi_strict and hi in excluded:
+                excluded.discard(hi)
+                hi_strict = True
+                changed = True
+
+        # Drop excluded points that fall outside the bounds anyway.
+        kept = frozenset(
+            v for v in excluded
+            if _within(v, lo, lo_strict, hi, hi_strict)
+        )
+        return Interval(lo, lo_strict, hi, hi_strict, kept, self.discrete)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The conjunction of the two predicates."""
+        lo, lo_strict = _tighter_lo(
+            (self.lo, self.lo_strict), (other.lo, other.lo_strict)
+        )
+        hi, hi_strict = _tighter_hi(
+            (self.hi, self.hi_strict), (other.hi, other.hi_strict)
+        )
+        return Interval(
+            lo, lo_strict, hi, hi_strict,
+            self.excluded | other.excluded,
+            self.discrete or other.discrete,
+        ).normalized()
+
+    # ------------------------------------------------------------------
+    # decision procedures (conservative)
+    # ------------------------------------------------------------------
+
+    def contains(self, value: Value) -> bool:
+        """Membership test for a concrete value."""
+        norm = self.normalized()
+        return (
+            _within(value, norm.lo, norm.lo_strict, norm.hi, norm.hi_strict)
+            and value not in norm.excluded
+        )
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval pins exactly one value."""
+        norm = self.normalized()
+        return (
+            norm.lo is not None
+            and norm.lo == norm.hi
+            and not norm.lo_strict
+            and not norm.hi_strict
+        )
+
+    def the_point(self) -> Value:
+        """The single value of a point interval."""
+        assert self.is_point
+        return self.normalized().lo  # type: ignore[return-value]
+
+    def is_empty(self) -> bool:
+        """Provable emptiness (the predicate is unsatisfiable)."""
+        norm = self.normalized()
+        if norm.lo is None or norm.hi is None:
+            return False
+        if norm.lo > norm.hi:
+            return True
+        if norm.lo == norm.hi:
+            return norm.lo_strict or norm.hi_strict
+        return False
+
+    @property
+    def is_top(self) -> bool:
+        """True when the predicate is the constant ``true``."""
+        return (
+            self.lo is None and self.hi is None and not self.excluded
+        )
+
+    def is_subset(self, other: "Interval") -> bool:
+        """Provable implication: ``self`` predicate implies ``other``'s.
+
+        Conservative — an empty ``self`` implies anything.
+        """
+        if self.is_empty():
+            return True
+        a, b = self.normalized(), other.normalized()
+        if not _lo_at_least(a, b) or not _hi_at_most(a, b):
+            return False
+        # Every point b excludes must also be outside a.
+        return all(not a.contains(v) for v in b.excluded)
+
+    def is_disjoint(self, other: "Interval") -> bool:
+        """Provable contradiction of the two predicates."""
+        if self.is_empty() or other.is_empty():
+            return True
+        a, b = self.normalized(), other.normalized()
+        if a.is_point:
+            return not b.contains(a.the_point())
+        if b.is_point:
+            return not a.contains(b.the_point())
+        return self.intersect(other).is_empty()
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def describe(self, subject: str) -> Tuple[str, ...]:
+        """Render the predicate as comparison clauses over ``subject``.
+
+        Returns a tuple of clause strings, empty for ``true``.
+        """
+        norm = self.normalized()
+        if norm.is_point:
+            return (f"{subject} = {_fmt(norm.the_point())}",)
+        clauses = []
+        if norm.lo is not None:
+            op = ">" if norm.lo_strict else ">="
+            clauses.append(f"{subject} {op} {_fmt(norm.lo)}")
+        if norm.hi is not None:
+            op = "<" if norm.hi_strict else "<="
+            clauses.append(f"{subject} {op} {_fmt(norm.hi)}")
+        for value in sorted(norm.excluded, key=repr):
+            clauses.append(f"{subject} != {_fmt(value)}")
+        return tuple(clauses)
+
+    def __str__(self) -> str:
+        return " and ".join(self.describe("x")) or "true"
+
+
+def _fmt(value: Value) -> str:
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def _within(value: Value, lo: Optional[Value], lo_strict: bool,
+            hi: Optional[Value], hi_strict: bool) -> bool:
+    if lo is not None:
+        if lo_strict and not value > lo:
+            return False
+        if not lo_strict and not value >= lo:
+            return False
+    if hi is not None:
+        if hi_strict and not value < hi:
+            return False
+        if not hi_strict and not value <= hi:
+            return False
+    return True
+
+
+def _tighter_lo(a: Tuple[Optional[Value], bool],
+                b: Tuple[Optional[Value], bool]) -> Tuple[Optional[Value], bool]:
+    (alo, astrict), (blo, bstrict) = a, b
+    if alo is None:
+        return blo, bstrict
+    if blo is None:
+        return alo, astrict
+    if alo > blo:
+        return alo, astrict
+    if blo > alo:
+        return blo, bstrict
+    return alo, astrict or bstrict
+
+
+def _tighter_hi(a: Tuple[Optional[Value], bool],
+                b: Tuple[Optional[Value], bool]) -> Tuple[Optional[Value], bool]:
+    (ahi, astrict), (bhi, bstrict) = a, b
+    if ahi is None:
+        return bhi, bstrict
+    if bhi is None:
+        return ahi, astrict
+    if ahi < bhi:
+        return ahi, astrict
+    if bhi < ahi:
+        return bhi, bstrict
+    return ahi, astrict or bstrict
+
+
+def _lo_at_least(a: Interval, b: Interval) -> bool:
+    """Is a's lower bound at least as tight as b's?"""
+    if b.lo is None:
+        return True
+    if a.lo is None:
+        return False
+    if a.lo > b.lo:
+        return True
+    if a.lo < b.lo:
+        return False
+    return a.lo_strict or not b.lo_strict
+
+
+def _hi_at_most(a: Interval, b: Interval) -> bool:
+    """Is a's upper bound at least as tight as b's?"""
+    if b.hi is None:
+        return True
+    if a.hi is None:
+        return False
+    if a.hi < b.hi:
+        return True
+    if a.hi > b.hi:
+        return False
+    return a.hi_strict or not b.hi_strict

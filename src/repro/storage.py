@@ -1,0 +1,124 @@
+"""Persistence: save and load databases and permission catalogs.
+
+A deployment of the model needs its schema, instances, view definitions
+and grants to survive restarts.  This module serializes all four to a
+single JSON document:
+
+* schemas as (name, attribute, domain, key) records;
+* instances as row arrays;
+* views as their *surface statements* — the language layer round-trips
+  exactly, so a reloaded catalog encodes to identical meta-relations
+  (variable numbering included, because definition order is preserved);
+* grants as (user, view) pairs in grant order.
+
+``dump``/``load`` work on file paths or file objects; ``dumps``/``loads``
+on strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Tuple, Union
+
+from repro.algebra.database import Database, build_database
+from repro.algebra.schema import make_schema
+from repro.algebra.types import domain_named
+from repro.errors import ReproError
+from repro.meta.catalog import PermissionCatalog
+
+#: Format marker; bump on incompatible layout changes.
+FORMAT = "repro-authdb-v1"
+
+
+def snapshot(database: Database,
+             catalog: PermissionCatalog) -> Dict:
+    """The JSON-ready representation of a database + catalog pair."""
+    relations = []
+    for schema in database.schema:
+        relations.append({
+            "name": schema.name,
+            "attributes": [
+                {"name": a.name, "domain": a.domain.name}
+                for a in schema.attributes
+            ],
+            "key": list(schema.key),
+            "rows": [list(row) for row in database.instance(schema.name)],
+        })
+    views = [
+        str(catalog.view(name).definition)
+        for name in catalog.view_names()
+    ]
+    grants = [
+        [user, view] for user, view in catalog.permission_rows()
+    ]
+    return {
+        "format": FORMAT,
+        "relations": relations,
+        "views": views,
+        "grants": grants,
+    }
+
+
+def restore(document: Dict) -> Tuple[Database, PermissionCatalog]:
+    """Rebuild a database + catalog pair from :func:`snapshot` output.
+
+    Raises:
+        ReproError: for unknown formats or malformed documents.
+    """
+    if document.get("format") != FORMAT:
+        raise ReproError(
+            f"unsupported snapshot format {document.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    try:
+        schemas = []
+        instances: Dict[str, List[tuple]] = {}
+        for record in document["relations"]:
+            schemas.append(make_schema(
+                record["name"],
+                [(a["name"], domain_named(a["domain"]))
+                 for a in record["attributes"]],
+                key=record.get("key", []),
+            ))
+            instances[record["name"]] = [
+                tuple(row) for row in record.get("rows", [])
+            ]
+        database = build_database(schemas, instances)
+        catalog = PermissionCatalog(database.schema)
+        for statement in document.get("views", []):
+            catalog.define_view(statement)
+        for user, view in document.get("grants", []):
+            catalog.permit(view, user)
+        return database, catalog
+    except (KeyError, TypeError) as error:
+        raise ReproError(f"malformed snapshot: {error}") from error
+
+
+def dumps(database: Database, catalog: PermissionCatalog,
+          indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(snapshot(database, catalog), indent=indent)
+
+
+def loads(text: str) -> Tuple[Database, PermissionCatalog]:
+    """Deserialize from a JSON string."""
+    return restore(json.loads(text))
+
+
+def dump(database: Database, catalog: PermissionCatalog,
+         target: Union[str, Path, IO[str]]) -> None:
+    """Serialize to a file path or open file object."""
+    text = dumps(database, catalog)
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        Path(target).write_text(text, encoding="utf-8")
+
+
+def load(source: Union[str, Path, IO[str]]
+         ) -> Tuple[Database, PermissionCatalog]:
+    """Deserialize from a file path or open file object."""
+    if hasattr(source, "read"):
+        return loads(source.read())  # type: ignore[union-attr]
+    return loads(Path(source).read_text(encoding="utf-8"))

@@ -1,0 +1,39 @@
+"""S9 — workloads: the paper database, random generators, scenarios."""
+
+from repro.workloads.generator import (
+    Workload,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    GRANTS,
+    VIEW_STATEMENTS,
+    build_paper_catalog,
+    build_paper_database,
+    build_paper_engine,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    corporate_scenario,
+    hospital_scenario,
+)
+
+__all__ = [
+    "EXAMPLE_1_QUERY",
+    "EXAMPLE_2_QUERY",
+    "EXAMPLE_3_QUERY",
+    "GRANTS",
+    "Scenario",
+    "VIEW_STATEMENTS",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "build_paper_catalog",
+    "build_paper_database",
+    "build_paper_engine",
+    "corporate_scenario",
+    "hospital_scenario",
+]

@@ -1,0 +1,119 @@
+"""The paper's running example: Figure 1's database and permissions.
+
+Three relations (EMPLOYEE, PROJECT, ASSIGNMENT), four views (SAE, PSA,
+ELP, EST) and the grants to Brown and Klein, exactly as printed in
+Figure 1.  Every experiment and most tests start here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algebra.database import Database, build_database
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.engine import AuthorizationEngine
+from repro.meta.catalog import PermissionCatalog
+
+#: The four view statements of Section 2, in the paper's order of
+#: appearance in Figure 1's tables (SAE, ELP, EST, PSA would match the
+#: EMPLOYEE' table; we define them in the order the paper introduces
+#: them in Section 2 and grant in Figure 1's PERMISSION order).
+VIEW_STATEMENTS: Tuple[str, ...] = (
+    "view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)",
+    """view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE,
+                 PROJECT.NUMBER, PROJECT.BUDGET)
+       where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+       and PROJECT.NUMBER = ASSIGNMENT.P_NO
+       and PROJECT.BUDGET >= 250,000""",
+    """view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+       where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE""",
+    "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+    "where PROJECT.SPONSOR = Acme",
+)
+
+#: Figure 1's PERMISSION relation.
+GRANTS: Tuple[Tuple[str, str], ...] = (
+    ("Brown", "SAE"),
+    ("Brown", "PSA"),
+    ("Brown", "EST"),
+    ("Klein", "ELP"),
+    ("Klein", "EST"),
+)
+
+
+def build_paper_database() -> Database:
+    """The database instance shown in Figure 1."""
+    employee = make_schema(
+        "EMPLOYEE",
+        [("NAME", STRING), ("TITLE", STRING), ("SALARY", INTEGER)],
+        key=["NAME"],
+    )
+    project = make_schema(
+        "PROJECT",
+        [("NUMBER", STRING), ("SPONSOR", STRING), ("BUDGET", INTEGER)],
+        key=["NUMBER"],
+    )
+    assignment = make_schema(
+        "ASSIGNMENT",
+        [("E_NAME", STRING), ("P_NO", STRING)],
+        key=["E_NAME", "P_NO"],
+    )
+    return build_database(
+        [employee, project, assignment],
+        {
+            "EMPLOYEE": [
+                ("Jones", "manager", 26_000),
+                ("Smith", "technician", 22_000),
+                ("Brown", "engineer", 32_000),
+            ],
+            "PROJECT": [
+                ("bq-45", "Acme", 300_000),
+                ("sv-72", "Apex", 450_000),
+                ("vg-13", "Summit", 150_000),
+            ],
+            "ASSIGNMENT": [
+                ("Jones", "bq-45"),
+                ("Smith", "bq-45"),
+                ("Jones", "sv-72"),
+                ("Brown", "sv-72"),
+                ("Smith", "vg-13"),
+                ("Brown", "vg-13"),
+            ],
+        },
+    )
+
+
+def build_paper_catalog(database: Database) -> PermissionCatalog:
+    """Figure 1's views and grants over ``database``'s schema."""
+    catalog = PermissionCatalog(database.schema)
+    for statement in VIEW_STATEMENTS:
+        catalog.define_view(statement)
+    for user, view_name in GRANTS:
+        catalog.permit(view_name, user)
+    return catalog
+
+
+def build_paper_engine(
+    config: EngineConfig = DEFAULT_CONFIG,
+) -> AuthorizationEngine:
+    """An engine over the Figure 1 database, views and grants."""
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+    return AuthorizationEngine(database, catalog, config)
+
+
+#: The three retrieve statements of Section 5.
+EXAMPLE_1_QUERY = (
+    "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+    "where PROJECT.BUDGET >= 250,000"
+)
+EXAMPLE_2_QUERY = """retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    where EMPLOYEE.TITLE = engineer
+    and EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+    and ASSIGNMENT.P_NO = PROJECT.NUMBER
+    and PROJECT.BUDGET > 300,000"""
+EXAMPLE_3_QUERY = """retrieve (EMPLOYEE:1.NAME, EMPLOYEE:1.SALARY,
+                               EMPLOYEE:2.NAME, EMPLOYEE:2.SALARY)
+    where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"""

@@ -1,0 +1,41 @@
+"""Shared fixtures: the paper database and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Database
+from repro.core import AuthorizationEngine
+from repro.meta import PermissionCatalog
+from repro.workloads import (
+    build_paper_catalog,
+    build_paper_database,
+    build_paper_engine,
+    corporate_scenario,
+    hospital_scenario,
+)
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    return build_paper_database()
+
+
+@pytest.fixture
+def paper_catalog(paper_db: Database) -> PermissionCatalog:
+    return build_paper_catalog(paper_db)
+
+
+@pytest.fixture
+def paper_engine() -> AuthorizationEngine:
+    return build_paper_engine()
+
+
+@pytest.fixture
+def hospital():
+    return hospital_scenario()
+
+
+@pytest.fixture
+def corporate():
+    return corporate_scenario()

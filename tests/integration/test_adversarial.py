@@ -1,0 +1,285 @@
+"""Adversarial integration tests: attempts to leak data past the mask.
+
+Each test plays an attacker who holds limited views and crafts queries
+trying to widen them — join smuggling, self-join reflection, constant
+probing, occurrence tricks.  The assertion is always the same: no cell
+outside the attacker's permitted views becomes visible.
+"""
+
+import pytest
+
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED
+from repro.meta.catalog import PermissionCatalog
+from repro.workloads.paperdb import build_paper_database
+
+
+def visible_values(answer):
+    return {
+        value
+        for row in answer.delivered
+        for value in row
+        if value is not MASKED
+    }
+
+
+@pytest.fixture
+def db():
+    return build_paper_database()
+
+
+def engine_with(db, views, grants):
+    catalog = PermissionCatalog(db.schema)
+    for view in views:
+        catalog.define_view(view)
+    for view_name, user in grants:
+        catalog.permit(view_name, user)
+    return AuthorizationEngine(db, catalog)
+
+
+SALARIES = {26_000, 22_000, 32_000}
+
+
+class TestJoinSmuggling:
+    def test_join_does_not_widen_columns(self, db):
+        """Holding a PROJECT view must not expose EMPLOYEE data through
+        a join query."""
+        engine = engine_with(
+            db,
+            ["view P (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)"],
+            [("P", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (PROJECT.NUMBER, EMPLOYEE.NAME, EMPLOYEE.SALARY) "
+            "where PROJECT.NUMBER = ASSIGNMENT.P_NO "
+            "and ASSIGNMENT.E_NAME = EMPLOYEE.NAME",
+        )
+        assert visible_values(answer) & SALARIES == set()
+        assert "Jones" not in visible_values(answer)
+
+    def test_join_condition_does_not_leak_through_selection(self, db):
+        """Selecting on a secret column (SALARY) must not make a
+        permitted column reveal the selection's effect beyond the
+        answer itself — the mask may deliver names only via views that
+        ignore salary."""
+        engine = engine_with(
+            db,
+            ["view N (EMPLOYEE.NAME)"],
+            [("N", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 30,000",
+        )
+        # The unstarred-cell policy: the view places no restriction on
+        # SALARY (mu = true), and lambda does not imply mu... mu is
+        # true so lambda DOES imply mu, but mu does not imply lambda:
+        # delivering would reveal which employees earn > 30k through a
+        # view that only grants names.  Must be fully masked.
+        assert answer.is_fully_masked
+
+    def test_semijoin_probe_is_masked(self, db):
+        """Probing secret ASSIGNMENT pairs through a permitted EMPLOYEE
+        view: the join to ASSIGNMENT must mask."""
+        engine = engine_with(
+            db,
+            ["view E (EMPLOYEE.NAME, EMPLOYEE.TITLE)"],
+            [("E", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE) "
+            "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+            "and ASSIGNMENT.P_NO = 'bq-45'",
+        )
+        # Knowing who works on bq-45 is ASSIGNMENT data; the view
+        # grants employee names/titles unconditionally but the answer's
+        # rows are the bq-45 workers — delivering them would leak the
+        # assignment.  Must be fully masked.
+        assert answer.is_fully_masked
+
+
+class TestSelfJoinReflection:
+    def test_self_product_does_not_double_permissions(self, db):
+        """EMP x EMP with a salary comparison: holding names-only must
+        not expose the comparison's outcome."""
+        engine = engine_with(
+            db,
+            ["view N (EMPLOYEE.NAME)"],
+            [("N", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME) "
+            "where EMPLOYEE:1.SALARY < EMPLOYEE:2.SALARY",
+        )
+        assert answer.is_fully_masked
+
+    def test_unconditional_self_product_is_fine(self, db):
+        """The pure product of a permitted view with itself carries no
+        extra information and should flow."""
+        engine = engine_with(
+            db,
+            ["view N (EMPLOYEE.NAME)"],
+            [("N", "eve")],
+        )
+        answer = engine.authorize(
+            "eve", "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME)"
+        )
+        assert answer.is_fully_delivered
+
+    def test_est_does_not_leak_titles(self, db):
+        """EST grants name pairs plus the shared title; it must not
+        expose salaries through any reflection."""
+        engine = engine_with(
+            db,
+            ["view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+             "EMPLOYEE:1.TITLE) "
+             "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"],
+            [("EST", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:1.SALARY, "
+            "EMPLOYEE:2.SALARY) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE",
+        )
+        assert visible_values(answer) & SALARIES == set()
+
+
+class TestConstantProbing:
+    def test_equality_probe_on_secret_column(self, db):
+        """Binary-search probing a secret salary via equality
+        selections must never return a visible cell."""
+        engine = engine_with(
+            db,
+            ["view N (EMPLOYEE.NAME)"],
+            [("N", "eve")],
+        )
+        for probe in (22_000, 26_000, 32_000, 99_999):
+            answer = engine.authorize(
+                "eve",
+                f"retrieve (EMPLOYEE.NAME) "
+                f"where EMPLOYEE.SALARY = {probe}",
+            )
+            assert answer.is_fully_masked, probe
+
+    def test_probing_within_view_predicate_is_legitimate(self, db):
+        """Probing inside the permitted region is allowed — the view
+        already grants it."""
+        engine = engine_with(
+            db,
+            ["view S (EMPLOYEE.NAME, EMPLOYEE.SALARY)"],
+            [("S", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) "
+            "where EMPLOYEE.SALARY = 26,000",
+        )
+        assert set(answer.delivered) == {("Jones", 26_000)}
+
+    def test_range_probe_on_view_constrained_column(self, db):
+        """A view bounded to BUDGET >= 250k: probing below the bound
+        yields nothing; probing inside yields only in-bound rows."""
+        engine = engine_with(
+            db,
+            ["view B (PROJECT.NUMBER, PROJECT.BUDGET) "
+             "where PROJECT.BUDGET >= 250,000"],
+            [("B", "eve")],
+        )
+        below = engine.authorize(
+            "eve",
+            "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET < 200,000",
+        )
+        assert below.is_fully_masked
+        inside = engine.authorize(
+            "eve",
+            "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET > 400,000",
+        )
+        assert set(inside.delivered) == {("sv-72", 450_000)}
+
+
+class TestRevocationRaces:
+    def test_cached_selfjoins_do_not_survive_revocation(self, db):
+        engine = engine_with(
+            db,
+            ["view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)",
+             "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+             "EMPLOYEE:1.TITLE) "
+             "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"],
+            [("SAE", "eve"), ("EST", "eve")],
+        )
+        query = (
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:1.SALARY, "
+            "EMPLOYEE:2.NAME, EMPLOYEE:2.SALARY) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"
+        )
+        assert engine.authorize("eve", query).is_fully_delivered
+        engine.revoke("SAE", "eve")
+        after = engine.authorize("eve", query)
+        assert visible_values(after) & SALARIES == set()
+
+    def test_dropping_a_view_kills_combined_grants(self, db):
+        engine = engine_with(
+            db,
+            ["view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)",
+             "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+             "EMPLOYEE:1.TITLE) "
+             "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"],
+            [("SAE", "eve"), ("EST", "eve")],
+        )
+        engine.catalog.drop_view("EST")
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:1.SALARY, "
+            "EMPLOYEE:2.NAME, EMPLOYEE:2.SALARY) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE",
+        )
+        # SAE alone still grants names+salaries of the (reflexive)
+        # pairs?  No: the same-title selection requires the title
+        # linkage EST provided; nothing combined remains.
+        assert not answer.is_fully_delivered
+
+
+class TestOccurrenceTricks:
+    def test_occurrence_renumbering_is_equivalent(self, db):
+        """Swapping occurrence indices must not change the delivery."""
+        engine = engine_with(
+            db,
+            ["view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+             "EMPLOYEE:1.TITLE) "
+             "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"],
+            [("EST", "eve")],
+        )
+        first = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE",
+        )
+        second = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:2.NAME, EMPLOYEE:1.NAME) "
+            "where EMPLOYEE:2.TITLE = EMPLOYEE:1.TITLE",
+        )
+        assert set(first.delivered) == set(second.delivered)
+
+    def test_triple_occurrence_cannot_escalate(self, db):
+        engine = engine_with(
+            db,
+            ["view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+             "EMPLOYEE:1.TITLE) "
+             "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"],
+            [("EST", "eve")],
+        )
+        answer = engine.authorize(
+            "eve",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+            "EMPLOYEE:3.SALARY) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE "
+            "and EMPLOYEE:2.TITLE = EMPLOYEE:3.TITLE",
+        )
+        assert visible_values(answer) & SALARIES == set()

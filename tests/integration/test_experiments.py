@@ -1,0 +1,38 @@
+"""Integration: every experiment of DESIGN.md must pass its checks."""
+
+import pytest
+
+from repro.experiments.runner import ALIASES, REGISTRY, run_experiment
+
+
+@pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+def test_experiment_passes(exp_id):
+    result = run_experiment(exp_id)
+    failures = [c for c in result.checks if not c.passed]
+    assert not failures, "\n".join(c.render() for c in failures)
+
+
+def test_every_design_id_resolves():
+    for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+                   "E10", "E11", "E12"):
+        assert exp_id in REGISTRY or exp_id in ALIASES
+
+
+def test_results_render_without_error():
+    result = run_experiment("E1")
+    text = result.render()
+    assert "E1" in text and "ALL CHECKS PASS" in text
+
+
+def test_runner_main_smoke(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["E1"]) == 0
+    out = capsys.readouterr().out
+    assert "1 experiments, 1 passed, 0 failed" in out
+
+
+def test_runner_rejects_unknown_id(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["E99"]) == 2

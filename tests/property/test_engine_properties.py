@@ -1,0 +1,145 @@
+"""Property tests on the engine: soundness and structural invariants.
+
+These are the heavyweight checks:
+
+* **non-interference** — the semantic content of the paper's Theorem:
+  on randomly generated workloads, a mutation invisible to a user's
+  permitted views never changes what that user receives;
+* **evaluator agreement** — naive and optimized data evaluation agree
+  on random conjunctive queries;
+* **delivery shape** — delivered rows always align with the raw answer
+  (masking only ever replaces cells, never invents values);
+* **grant monotonicity** — granting an additional view never shrinks a
+  delivery; revoking never grows one;
+* **ablation dominance** — disabling refinements never delivers more.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.evaluate import evaluate_naive
+from repro.algebra.optimize import evaluate_optimized
+from repro.baselines.oracle import check_non_interference
+from repro.calculus.to_algebra import compile_query
+from repro.config import BASE_MODEL_CONFIG, DEFAULT_CONFIG
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def make_workload(seed):
+    generator = WorkloadGenerator(seed)
+    spec = WorkloadSpec(seed=seed, relations=3, views=3, users=2,
+                        rows_per_relation=8)
+    return generator, spec, generator.workload(spec)
+
+
+class TestNonInterference:
+    @SLOW
+    @given(seeds)
+    def test_invisible_mutations_change_nothing(self, seed):
+        generator, spec, workload = make_workload(seed)
+        query = generator.query(spec, workload.database.schema)
+        for _ in range(2):
+            mutated = generator.mutate(spec, workload.database)
+            for user in workload.users:
+                ok, message = check_non_interference(
+                    workload.catalog, user, query,
+                    workload.database, mutated,
+                )
+                assert ok, f"seed={seed} user={user} query={query}: {message}"
+
+    @SLOW
+    @given(seeds)
+    def test_non_interference_of_base_model(self, seed):
+        generator, spec, workload = make_workload(seed)
+        query = generator.query(spec, workload.database.schema)
+        mutated = generator.mutate(spec, workload.database)
+        for user in workload.users:
+            ok, message = check_non_interference(
+                workload.catalog, user, query,
+                workload.database, mutated,
+                config=BASE_MODEL_CONFIG,
+            )
+            assert ok, f"seed={seed}: {message}"
+
+
+class TestEvaluatorAgreement:
+    @SLOW
+    @given(seeds)
+    def test_naive_equals_optimized(self, seed):
+        generator, spec, workload = make_workload(seed)
+        schema = workload.database.schema
+        for _ in range(3):
+            plan = compile_query(generator.query(spec, schema), schema)
+            naive = evaluate_naive(plan, workload.database)
+            fast = evaluate_optimized(plan, workload.database)
+            assert naive.same_rows(fast), f"seed={seed}: {plan}"
+
+
+class TestDeliveryShape:
+    @SLOW
+    @given(seeds)
+    def test_masking_only_replaces_cells(self, seed):
+        generator, spec, workload = make_workload(seed)
+        engine = AuthorizationEngine(workload.database, workload.catalog)
+        query = generator.query(spec, workload.database.schema)
+        for user in workload.users:
+            answer = engine.authorize(user, query)
+            assert len(answer.delivered) == answer.answer.cardinality
+            for delivered, raw in zip(answer.delivered,
+                                      answer.answer.rows):
+                for masked_cell, raw_cell in zip(delivered, raw):
+                    assert masked_cell is MASKED or masked_cell == raw_cell
+
+    @SLOW
+    @given(seeds)
+    def test_stats_are_consistent(self, seed):
+        generator, spec, workload = make_workload(seed)
+        engine = AuthorizationEngine(workload.database, workload.catalog)
+        query = generator.query(spec, workload.database.schema)
+        stats = engine.authorize(workload.users[0], query).stats()
+        assert stats.full_rows + stats.partial_rows + stats.masked_rows \
+            == stats.total_rows
+        assert 0 <= stats.delivered_cells <= stats.total_cells
+
+
+class TestMonotonicity:
+    @SLOW
+    @given(seeds)
+    def test_granting_more_never_delivers_less(self, seed):
+        generator, spec, workload = make_workload(seed)
+        user = workload.users[0]
+        engine = AuthorizationEngine(workload.database, workload.catalog)
+        query = generator.query(spec, workload.database.schema)
+
+        before = engine.authorize(user, query).stats().delivered_cells
+        # Grant every remaining view.
+        for view in workload.views:
+            workload.catalog.permit(view.name, user)
+        after = engine.authorize(user, query).stats().delivered_cells
+        assert after >= before, f"seed={seed}"
+
+    @SLOW
+    @given(seeds)
+    def test_refinements_only_add(self, seed):
+        generator, spec, workload = make_workload(seed)
+        query = generator.query(spec, workload.database.schema)
+        full_engine = AuthorizationEngine(
+            workload.database, workload.catalog, DEFAULT_CONFIG
+        )
+        base_engine = AuthorizationEngine(
+            workload.database, workload.catalog, BASE_MODEL_CONFIG
+        )
+        for user in workload.users:
+            full = full_engine.authorize(user, query).stats()
+            base = base_engine.authorize(user, query).stats()
+            assert base.delivered_cells <= full.delivered_cells, \
+                f"seed={seed} user={user} query={query}"

@@ -1,0 +1,197 @@
+"""Unit tests for the aggregate-views extension (Section 6, ext. 2)."""
+
+import pytest
+
+from repro.core.engine import AuthorizationEngine
+from repro.errors import AuthorizationError, SafetyError
+from repro.extensions.aggregates import (
+    AggregateAuthorizer,
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.lang.parser import parse_query
+from repro.meta.catalog import PermissionCatalog
+from repro.workloads.paperdb import build_paper_database
+
+
+@pytest.fixture
+def engine():
+    database = build_paper_database()
+    return AuthorizationEngine(database, PermissionCatalog(database.schema))
+
+
+@pytest.fixture
+def authorizer(engine):
+    return AggregateAuthorizer(engine)
+
+
+def spec(text, function=AggregateFunction.SUM):
+    return AggregateSpec(parse_query(text), function)
+
+
+BUDGET_BY_SPONSOR = "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET)"
+
+
+class TestFunctions:
+    def test_sum_min_max_avg_count(self):
+        values = [10, 20, 30]
+        assert AggregateFunction.SUM.apply(values) == 60
+        assert AggregateFunction.MIN.apply(values) == 10
+        assert AggregateFunction.MAX.apply(values) == 30
+        assert AggregateFunction.AVG.apply(values) == 20
+        assert AggregateFunction.COUNT.apply(values) == 3
+
+    def test_empty_group(self):
+        assert AggregateFunction.COUNT.apply([]) == 0
+        with pytest.raises(AuthorizationError):
+            AggregateFunction.SUM.apply([])
+
+
+class TestExactGrantRoute:
+    def test_granted_aggregate_delivers(self, authorizer):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        answer = authorizer.authorize(
+            "analyst", spec(BUDGET_BY_SPONSOR)
+        )
+        assert answer.labels == ("SPONSOR", "sum(BUDGET)")
+        assert set(answer.rows) == {
+            ("Acme", 300_000), ("Apex", 450_000), ("Summit", 150_000),
+        }
+        assert "aggregate view SPEND" in answer.route
+
+    def test_grant_does_not_open_rows(self, authorizer, engine):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        row_level = engine.authorize(
+            "analyst", "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET)"
+        )
+        assert row_level.is_fully_masked
+
+    def test_function_must_match(self, authorizer):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        with pytest.raises(AuthorizationError):
+            authorizer.authorize(
+                "analyst",
+                spec(BUDGET_BY_SPONSOR, AggregateFunction.MAX),
+            )
+
+    def test_core_must_be_equivalent_not_contained(self, authorizer):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        narrowed = spec(
+            "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET >= 200,000"
+        )
+        with pytest.raises(AuthorizationError):
+            authorizer.authorize("analyst", narrowed)
+
+    def test_equivalent_phrasing_accepted(self, authorizer):
+        authorizer.define(
+            "SPEND",
+            "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET >= 0 and PROJECT.BUDGET >= 0",
+            AggregateFunction.SUM,
+        )
+        authorizer.permit("SPEND", "analyst")
+        request = spec(
+            "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.BUDGET >= 0"
+        )
+        answer = authorizer.authorize("analyst", request)
+        assert answer.rows  # delivered
+
+    def test_revoke(self, authorizer):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        authorizer.revoke("SPEND", "analyst")
+        with pytest.raises(AuthorizationError):
+            authorizer.authorize("analyst", spec(BUDGET_BY_SPONSOR))
+
+
+class TestDerivableRoute:
+    def test_visible_rows_allow_any_aggregate(self, engine):
+        engine.define_view(
+            "view ALLP (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)"
+        )
+        engine.permit("ALLP", "hr")
+        authorizer = AggregateAuthorizer(engine)
+        answer = authorizer.authorize(
+            "hr", spec(BUDGET_BY_SPONSOR, AggregateFunction.MAX)
+        )
+        assert ("Apex", 450_000) in answer.rows
+        assert answer.route == "derived from visible cells"
+
+    def test_partially_visible_rows_deny(self, engine):
+        engine.define_view(
+            "view ACME (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.SPONSOR = Acme"
+        )
+        engine.permit("ACME", "brown")
+        authorizer = AggregateAuthorizer(engine)
+        with pytest.raises(AuthorizationError):
+            authorizer.authorize("brown", spec(BUDGET_BY_SPONSOR))
+
+    def test_visible_restricted_core_allows(self, engine):
+        engine.define_view(
+            "view ACME (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.SPONSOR = Acme"
+        )
+        engine.permit("ACME", "brown")
+        authorizer = AggregateAuthorizer(engine)
+        answer = authorizer.authorize("brown", spec(
+            "retrieve (PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.SPONSOR = Acme"
+        ))
+        assert answer.rows == (("Acme", 300_000),)
+
+
+class TestGrouping:
+    def test_multi_group_aggregate(self, authorizer, engine):
+        core = ("retrieve (ASSIGNMENT.E_NAME, ASSIGNMENT.P_NO, "
+                "PROJECT.BUDGET) "
+                "where ASSIGNMENT.P_NO = PROJECT.NUMBER")
+        authorizer.define("WORK", core, AggregateFunction.COUNT)
+        authorizer.permit("WORK", "ops")
+        answer = authorizer.authorize(
+            "ops", spec(core, AggregateFunction.COUNT)
+        )
+        # one row per (employee, project) pair, each counting 1
+        assert all(row[-1] == 1 for row in answer.rows)
+        assert len(answer.rows) == 6
+
+    def test_count_groups(self, authorizer):
+        core = "retrieve (ASSIGNMENT.E_NAME, ASSIGNMENT.P_NO)"
+        authorizer.define("LOAD", core, AggregateFunction.COUNT)
+        authorizer.permit("LOAD", "ops")
+        answer = authorizer.authorize(
+            "ops", spec(core, AggregateFunction.COUNT)
+        )
+        counts = dict((row[0], row[1]) for row in answer.rows)
+        assert counts == {"Jones": 2, "Smith": 2, "Brown": 2}
+
+    def test_render(self, authorizer):
+        authorizer.define("SPEND", BUDGET_BY_SPONSOR,
+                          AggregateFunction.SUM)
+        authorizer.permit("SPEND", "analyst")
+        answer = authorizer.authorize("analyst", spec(BUDGET_BY_SPONSOR))
+        text = answer.render()
+        assert "sum(BUDGET)" in text and "via aggregate view SPEND" in text
+
+
+class TestDefinitionErrors:
+    def test_duplicate_name(self, authorizer):
+        authorizer.define("A", BUDGET_BY_SPONSOR, AggregateFunction.SUM)
+        with pytest.raises(SafetyError):
+            authorizer.define("A", BUDGET_BY_SPONSOR,
+                              AggregateFunction.SUM)
+
+    def test_unknown_grant(self, authorizer):
+        with pytest.raises(SafetyError):
+            authorizer.permit("NOPE", "u")

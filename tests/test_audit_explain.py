@@ -1,0 +1,114 @@
+"""Unit tests for the audit trail and the explain renderer."""
+
+import pytest
+
+from repro.core import AuditLog, AuthorizationEngine, explain
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    build_paper_catalog,
+    build_paper_database,
+)
+
+
+@pytest.fixture
+def audited_engine():
+    database = build_paper_database()
+    catalog = build_paper_catalog(database)
+    return AuthorizationEngine(database, catalog, audit=AuditLog())
+
+
+class TestAuditRecording:
+    def test_records_appended(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        audited_engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert len(audited_engine.audit) == 2
+
+    def test_record_contents(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        (entry,) = audited_engine.audit.records()
+        assert entry.user == "Brown"
+        assert entry.outcome == "partial"
+        assert entry.admissible_views == ("PSA",)
+        assert "SPONSOR = Acme" in entry.permit_statements[0]
+        assert "retrieve" in entry.statement
+
+    def test_outcomes(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)   # partial
+        audited_engine.authorize("Brown", EXAMPLE_3_QUERY)   # full
+        audited_engine.authorize("nobody", EXAMPLE_1_QUERY)  # denied
+        counts = audited_engine.audit.outcome_counts()
+        assert counts == {"denied": 1, "partial": 1, "full": 1}
+
+    def test_per_user_filter(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        audited_engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert len(audited_engine.audit.records("Brown")) == 1
+        assert audited_engine.audit.outcome_counts("Klein")["partial"] == 1
+
+    def test_delivered_fraction(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)  # 2/4 cells
+        assert audited_engine.audit.delivered_fraction() == pytest.approx(0.5)
+        assert audited_engine.audit.delivered_fraction("ghost") == 1.0
+
+    def test_capacity_bound(self):
+        database = build_paper_database()
+        catalog = build_paper_catalog(database)
+        engine = AuthorizationEngine(
+            database, catalog, audit=AuditLog(capacity=2)
+        )
+        for _ in range(5):
+            engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert len(engine.audit) == 2
+        assert engine.audit.records()[0].sequence == 4
+
+    def test_report_rendering(self, audited_engine):
+        audited_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        report = audited_engine.audit.report()
+        assert "Brown: partial (2/4 cells) via PSA" in report
+        assert "1 requests" in report
+
+    def test_empty_report(self):
+        assert "no authorizations" in AuditLog().report()
+
+    def test_no_audit_by_default(self, paper_engine):
+        paper_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert paper_engine.audit is None
+
+
+class TestExplain:
+    def test_contains_all_stages(self, paper_engine):
+        text = explain(paper_engine, "Klein", EXAMPLE_2_QUERY)
+        for heading in (
+            "-- query --",
+            "-- algebra plan (S) --",
+            "-- stage-one pruning --",
+            "-- pruned EMPLOYEE' --",
+            "-- meta-product after replications are removed --",
+            "-- after projection --",
+            "-- the mask A' --",
+            "-- delivered answer --",
+            "-- delivery statistics --",
+        ):
+            assert heading in text, heading
+
+    def test_selection_steps_labelled(self, paper_engine):
+        text = explain(paper_engine, "Klein", EXAMPLE_2_QUERY)
+        assert "after selection TITLE = engineer" in text
+        assert "after selection NAME = E_NAME" in text
+
+    def test_selfjoin_section_for_example3(self, paper_engine):
+        text = explain(paper_engine, "Brown", EXAMPLE_3_QUERY)
+        assert "self-join yields in EMPLOYEE'" in text
+        assert "x4*" in text
+
+    def test_cli_explain_command(self):
+        from repro.cli import Repl
+        from repro.workloads import build_paper_engine
+
+        repl = Repl(build_paper_engine(), user="Brown")
+        output = repl.process_line(f".explain {EXAMPLE_1_QUERY}")
+        assert "the mask A'" in output
+        assert "usage" in repl.process_line(".explain")
+        assert "error" in repl.process_line(".explain retrieve (X.Y)")

@@ -1,0 +1,94 @@
+"""Unit tests for the calculus ASTs and their rendering."""
+
+from repro.calculus.ast import (
+    AttrRef,
+    Condition,
+    ConstTerm,
+    Query,
+    ViewDefinition,
+)
+from repro.predicates.comparators import Comparator
+
+
+def ref(rel, attr, occ=1):
+    return AttrRef(rel, attr, occ)
+
+
+class TestAttrRef:
+    def test_render_single(self):
+        assert str(ref("EMPLOYEE", "NAME")) == "EMPLOYEE.NAME"
+
+    def test_render_occurrence(self):
+        assert str(ref("EMPLOYEE", "NAME", 2)) == "EMPLOYEE:2.NAME"
+
+    def test_occurrence_key(self):
+        assert ref("R", "A", 3).occurrence_key() == ("R", 3)
+
+
+class TestConstTerm:
+    def test_small_numbers_plain(self):
+        assert str(ConstTerm(42)) == "42"
+
+    def test_thousands_separator(self):
+        assert str(ConstTerm(250_000)) == "250,000"
+
+    def test_strings(self):
+        assert str(ConstTerm("Acme")) == "Acme"
+
+
+class TestCondition:
+    def test_attr_refs(self):
+        condition = Condition(ref("R", "A"), Comparator.EQ, ref("S", "B"))
+        assert len(condition.attr_refs()) == 2
+
+    def test_attr_refs_with_constant(self):
+        condition = Condition(ref("R", "A"), Comparator.GE, ConstTerm(5))
+        assert len(condition.attr_refs()) == 1
+
+    def test_str(self):
+        condition = Condition(ref("R", "A"), Comparator.GE,
+                              ConstTerm(250_000))
+        assert str(condition) == "R.A >= 250,000"
+
+
+class TestQueryRendering:
+    def test_simple(self):
+        query = Query(
+            (ref("PROJECT", "NUMBER"), ref("PROJECT", "SPONSOR")),
+            (Condition(ref("PROJECT", "BUDGET"), Comparator.GE,
+                       ConstTerm(250_000)),),
+        )
+        assert str(query) == (
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.BUDGET >= 250,000"
+        )
+
+    def test_multi_occurrence_shows_indices(self):
+        query = Query(
+            (ref("E", "N", 1), ref("E", "N", 2)),
+            (Condition(ref("E", "T", 1), Comparator.EQ, ref("E", "T", 2)),),
+        )
+        assert "E:1.N" in str(query) and "E:2.N" in str(query)
+
+    def test_single_occurrence_hides_index(self):
+        query = Query((ref("E", "N"),), ())
+        assert str(query) == "retrieve (E.N)"
+
+    def test_relation_names(self):
+        query = Query(
+            (ref("E", "N"),),
+            (Condition(ref("E", "N"), Comparator.EQ, ref("A", "E")),),
+        )
+        assert query.relation_names() == frozenset({"E", "A"})
+
+
+class TestViewDefinition:
+    def test_as_query(self):
+        view = ViewDefinition("V", (ref("R", "A"),), ())
+        query = view.as_query()
+        assert isinstance(query, Query)
+        assert query.target == view.target
+
+    def test_str_prefix(self):
+        view = ViewDefinition("SAE", (ref("EMPLOYEE", "NAME"),), ())
+        assert str(view) == "view SAE (EMPLOYEE.NAME)"

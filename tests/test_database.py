@@ -1,0 +1,75 @@
+"""Unit tests for repro.algebra.database."""
+
+import pytest
+
+from repro.algebra.database import Database, build_database
+from repro.algebra.schema import DatabaseSchema, make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.errors import SchemaError, UnknownRelationError
+
+
+@pytest.fixture
+def db():
+    r = make_schema("R", [("A", STRING), ("N", INTEGER)], key=["A"])
+    s = make_schema("S", [("B", STRING)], key=["B"])
+    return build_database(
+        [r, s], {"R": [("x", 1), ("y", 2)], "S": [("z",)]}
+    )
+
+
+class TestConstruction:
+    def test_build_database(self, db):
+        assert db.instance("R").cardinality == 2
+        assert db.instance("S").cardinality == 1
+
+    def test_instances_start_empty(self):
+        schema = DatabaseSchema()
+        schema.add(make_schema("R", [("A", STRING)]))
+        database = Database(schema)
+        assert database.instance("R").cardinality == 0
+
+    def test_build_rejects_undeclared_instances(self):
+        r = make_schema("R", [("A", STRING)])
+        with pytest.raises(SchemaError):
+            build_database([r], {"NOPE": [("x",)]})
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.instance("NOPE")
+
+
+class TestMutation:
+    def test_insert(self, db):
+        db.insert("R", ("w", 9))
+        assert ("w", 9) in db.instance("R")
+
+    def test_insert_duplicate_is_noop(self, db):
+        db.insert("R", ("x", 1))
+        assert db.instance("R").cardinality == 2
+
+    def test_delete(self, db):
+        removed = db.delete("R", [("x", 1), ("nope", 0)])
+        assert removed == 1
+        assert ("x", 1) not in db.instance("R")
+
+    def test_load_replaces(self, db):
+        db.load("S", [("q",), ("r",)])
+        assert db.instance("S").cardinality == 2
+
+    def test_add_relation(self, db):
+        db.add_relation(
+            make_schema("T", [("C", INTEGER)]), rows=[(5,)]
+        )
+        assert db.instance("T").cardinality == 1
+        assert "T" in db
+
+    def test_total_rows(self, db):
+        assert db.total_rows() == 3
+
+    def test_iteration(self, db):
+        names = [name for name, _ in db]
+        assert names == ["R", "S"]
+
+    def test_schema_of(self, db):
+        assert db.schema_of("R").arity == 2
+        assert db.relation_names() == ("R", "S")

@@ -1,0 +1,81 @@
+"""Unit tests for meta-tuple decoding into permit clauses."""
+
+from repro.meta.cell import MetaCell
+from repro.meta.decode import permit_clauses
+from repro.meta.metatuple import MetaTuple
+from repro.predicates.comparators import Comparator
+from repro.predicates.store import ConstraintStore
+
+LABELS = ("NUMBER", "SPONSOR", "BUDGET")
+EMPTY = ConstraintStore.empty()
+
+
+def tup(*cells):
+    return MetaTuple(frozenset({"V"}), tuple(cells), frozenset())
+
+
+class TestColumnsAndConstants:
+    def test_starred_columns_listed_in_order(self):
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.blank(True))
+        columns, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert columns == ("NUMBER", "BUDGET")
+        assert clauses == ()
+
+    def test_constant_clause(self):
+        meta = tup(MetaCell.blank(True),
+                   MetaCell.constant("Acme", True), MetaCell.blank())
+        _, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert clauses == ("SPONSOR = Acme",)
+
+    def test_large_constants_formatted(self):
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.constant(250_000, True))
+        _, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert clauses == ("BUDGET = 250,000",)
+
+    def test_unstarred_constant_still_describes(self):
+        # A selection attribute outside the projection is still part of
+        # the delivered portion's description.
+        meta = tup(MetaCell.blank(True),
+                   MetaCell.constant("Acme", False), MetaCell.blank())
+        columns, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert columns == ("NUMBER",)
+        assert clauses == ("SPONSOR = Acme",)
+
+
+class TestVariables:
+    def test_interval_clauses(self):
+        store = (EMPTY.constrain("x1", Comparator.GE, 300_000)
+                 .constrain("x1", Comparator.LE, 600_000))
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.variable("x1", True))
+        _, clauses = permit_clauses(LABELS, meta, store)
+        assert clauses == ("BUDGET >= 300,000", "BUDGET <= 600,000")
+
+    def test_multi_occurrence_equality(self):
+        meta = tup(MetaCell.variable("x1", True),
+                   MetaCell.variable("x1", True), MetaCell.blank())
+        _, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert clauses == ("NUMBER = SPONSOR",)
+
+    def test_var_var_relation_clause(self):
+        store = EMPTY.relate("x1", Comparator.LT, "x2")
+        meta = tup(MetaCell.variable("x1", True),
+                   MetaCell.blank(),
+                   MetaCell.variable("x2", True))
+        _, clauses = permit_clauses(LABELS, meta, store)
+        assert clauses == ("NUMBER < BUDGET",)
+
+    def test_relation_with_absent_var_is_silent(self):
+        store = EMPTY.relate("x1", Comparator.LT, "ghost")
+        meta = tup(MetaCell.variable("x1", True), MetaCell.blank(),
+                   MetaCell.blank())
+        _, clauses = permit_clauses(LABELS, meta, store)
+        assert clauses == ()
+
+    def test_unconstrained_variable_is_silent(self):
+        meta = tup(MetaCell.variable("x1", True), MetaCell.blank(),
+                   MetaCell.blank())
+        _, clauses = permit_clauses(LABELS, meta, EMPTY)
+        assert clauses == ()

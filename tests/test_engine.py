@@ -1,0 +1,141 @@
+"""Unit tests for the authorization engine."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED
+from repro.errors import ParseError, UnknownViewError
+from repro.meta.catalog import PermissionCatalog
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+)
+
+
+class TestAuthorize:
+    def test_accepts_text_or_ast(self, paper_engine):
+        from repro.lang.parser import parse_query
+
+        by_text = paper_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        by_ast = paper_engine.authorize(
+            "Brown", parse_query(EXAMPLE_1_QUERY)
+        )
+        assert by_text.delivered == by_ast.delivered
+
+    def test_rejects_non_retrieve(self, paper_engine):
+        with pytest.raises(ParseError):
+            paper_engine.authorize("Brown", "permit SAE to Brown")
+
+    def test_unknown_user_gets_nothing(self, paper_engine):
+        answer = paper_engine.authorize("stranger", EXAMPLE_1_QUERY)
+        assert answer.mask.is_empty
+        assert answer.is_fully_masked
+
+    def test_answer_carries_raw_and_masked(self, paper_engine):
+        answer = paper_engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.answer.cardinality == 2  # bq-45, sv-72
+        assert len(answer.delivered) == 2
+
+    def test_stats(self, paper_engine):
+        stats = paper_engine.authorize("Brown", EXAMPLE_1_QUERY).stats()
+        assert stats.total_cells == 4
+        assert stats.delivered_cells == 2
+        assert stats.full_rows == 1
+        assert stats.masked_rows == 1
+        assert stats.partial_rows == 0
+        assert stats.delivered_fraction == 0.5
+
+    def test_drop_fully_masked_config(self):
+        from repro.workloads.paperdb import build_paper_engine
+
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(drop_fully_masked_rows=True)
+        )
+        answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.delivered == (("bq-45", "Acme"),)
+
+    def test_render_contains_table_and_permits(self, paper_engine):
+        text = paper_engine.authorize("Brown", EXAMPLE_1_QUERY).render()
+        assert "NUMBER" in text
+        assert "permit (NUMBER, SPONSOR) where SPONSOR = Acme" in text
+
+    def test_render_full_delivery_notes_no_permits(self, paper_engine):
+        text = paper_engine.authorize("Brown", EXAMPLE_3_QUERY).render()
+        assert "no permit statements" in text
+
+
+class TestGrantManagement:
+    def test_define_permit_revoke_cycle(self, paper_db):
+        engine = AuthorizationEngine(paper_db)
+        engine.define_view("view V (PROJECT.NUMBER, PROJECT.SPONSOR)")
+        engine.permit("V", "u")
+        first = engine.authorize(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert first.is_fully_delivered
+        engine.revoke("V", "u")
+        second = engine.authorize(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert second.is_fully_masked
+
+    def test_permit_unknown_view(self, paper_engine):
+        with pytest.raises(UnknownViewError):
+            paper_engine.permit("NOPE", "Brown")
+
+
+class TestSelfJoinCache:
+    def test_cache_is_populated_and_reused(self, paper_engine):
+        paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
+        assert "Brown" in paper_engine._selfjoin_cache
+        pool = paper_engine._selfjoin_cache["Brown"]
+        assert len(pool["EMPLOYEE"]) == 2
+        # A second call reuses the same pool object.
+        paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
+        assert paper_engine._selfjoin_cache["Brown"] is pool
+
+    def test_cache_invalidated_on_grant_changes(self, paper_engine):
+        paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
+        paper_engine.revoke("EST", "Brown")
+        answer = paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
+        # Without EST the self-join disappears and salaries of pairs
+        # can no longer be combined with the same-title selection.
+        assert not answer.is_fully_delivered
+
+    def test_masks_identical_with_and_without_cache(self, paper_engine):
+        from repro.experiments.tables import meta_tuple_cells
+        from repro.metaalgebra.plan import derive_mask
+        from repro.calculus.to_algebra import compile_query
+        from repro.lang.parser import parse_query
+
+        plan = compile_query(
+            parse_query(EXAMPLE_3_QUERY), paper_engine.database.schema
+        )
+        cached = paper_engine.derive("Brown", EXAMPLE_3_QUERY)
+        uncached = derive_mask(
+            plan, paper_engine.database.schema, paper_engine.catalog,
+            "Brown", paper_engine.config, selfjoin_pool=None,
+        )
+        assert [meta_tuple_cells(r.meta) for r in cached.mask.rows] == \
+            [meta_tuple_cells(r.meta) for r in uncached.mask.rows]
+
+
+class TestCrossUserIsolation:
+    def test_brown_cannot_use_kleins_views(self, paper_engine):
+        # Example 2's query needs ELP, which Brown lacks.
+        answer = paper_engine.authorize("Brown", EXAMPLE_2_QUERY)
+        assert answer.is_fully_masked
+
+    def test_klein_cannot_use_browns_views(self, paper_engine):
+        # Example 1's query needs PSA, which Klein lacks.
+        answer = paper_engine.authorize("Klein", EXAMPLE_1_QUERY)
+        assert answer.is_fully_masked
+
+    def test_masked_cells_use_sentinel(self, paper_engine):
+        answer = paper_engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert all(
+            value is MASKED or value == "Brown"
+            for row in answer.delivered for value in row
+        )

@@ -1,0 +1,107 @@
+"""Unit tests for the naive PSJ evaluator."""
+
+import pytest
+
+from repro.algebra.database import build_database
+from repro.algebra.evaluate import evaluate_naive, trace_naive
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    Occurrence,
+    PSJQuery,
+)
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.predicates.comparators import Comparator
+
+
+@pytest.fixture
+def db():
+    emp = make_schema(
+        "EMP", [("NAME", STRING), ("DEPT", STRING), ("SAL", INTEGER)],
+        key=["NAME"],
+    )
+    dept = make_schema("DEPT", [("DNAME", STRING), ("HEAD", STRING)],
+                       key=["DNAME"])
+    return build_database([emp, dept], {
+        "EMP": [("a", "x", 10), ("b", "x", 20), ("c", "y", 30)],
+        "DEPT": [("x", "a"), ("y", "c")],
+    })
+
+
+class TestSingleRelation:
+    def test_identity(self, db):
+        plan = PSJQuery((Occurrence("EMP"),), (), (0, 1, 2))
+        assert evaluate_naive(plan, db).same_rows(db.instance("EMP"))
+
+    def test_selection(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP"),),
+            (AtomicCondition(Col(2), Comparator.GT, Const(15)),),
+            (0,),
+        )
+        assert set(evaluate_naive(plan, db).rows) == {("b",), ("c",)}
+
+    def test_projection_dedupes(self, db):
+        plan = PSJQuery((Occurrence("EMP"),), (), (1,))
+        assert set(evaluate_naive(plan, db).rows) == {("x",), ("y",)}
+        assert evaluate_naive(plan, db).cardinality == 2
+
+    def test_conjunctive_selection(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP"),),
+            (
+                AtomicCondition(Col(1), Comparator.EQ, Const("x")),
+                AtomicCondition(Col(2), Comparator.LT, Const(15)),
+            ),
+            (0,),
+        )
+        assert set(evaluate_naive(plan, db).rows) == {("a",)}
+
+
+class TestJoins:
+    def test_equijoin(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP"), Occurrence("DEPT")),
+            (AtomicCondition(Col(1), Comparator.EQ, Col(3)),),
+            (0, 4),
+        )
+        result = set(evaluate_naive(plan, db).rows)
+        assert result == {("a", "a"), ("b", "a"), ("c", "c")}
+
+    def test_self_product(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP", 1), Occurrence("EMP", 2)),
+            (AtomicCondition(Col(1), Comparator.EQ, Col(4)),),
+            (0, 3),
+        )
+        result = set(evaluate_naive(plan, db).rows)
+        # same-dept pairs, including reflexive ones
+        assert ("a", "b") in result and ("b", "a") in result
+        assert ("a", "a") in result
+        assert ("a", "c") not in result
+
+    def test_product_labels(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP", 1), Occurrence("EMP", 2)), (), (0, 3)
+        )
+        assert evaluate_naive(plan, db).labels() == ("NAME:1", "NAME:2")
+
+
+class TestTrace:
+    def test_trace_stages(self, db):
+        plan = PSJQuery(
+            (Occurrence("EMP"), Occurrence("DEPT")),
+            (
+                AtomicCondition(Col(1), Comparator.EQ, Col(3)),
+                AtomicCondition(Col(2), Comparator.GE, Const(20)),
+            ),
+            (0,),
+        )
+        trace = trace_naive(plan, db)
+        assert trace.after_product.cardinality == 6
+        assert len(trace.after_selections) == 2
+        assert trace.after_selections[0].cardinality == 3
+        assert trace.after_selections[1].cardinality == 2
+        assert set(trace.result.rows) == {("b",), ("c",)}

@@ -1,0 +1,141 @@
+"""Unit tests for repro.algebra.expression (PSJ plans)."""
+
+import pytest
+
+from repro.algebra.database import build_database
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    Occurrence,
+    PSJQuery,
+    occurrence_counts,
+)
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.errors import EvaluationError, TypeMismatchError
+from repro.predicates.comparators import Comparator
+
+
+@pytest.fixture
+def schema():
+    r = make_schema("R", [("A", STRING), ("N", INTEGER)], key=["A"])
+    s = make_schema("S", [("B", STRING), ("M", INTEGER)], key=["B"])
+    return build_database([r, s], {}).schema
+
+
+class TestAtomicCondition:
+    def test_evaluate_col_const(self):
+        condition = AtomicCondition(Col(1), Comparator.GE, Const(10))
+        assert condition.evaluate(("x", 12))
+        assert not condition.evaluate(("x", 9))
+
+    def test_evaluate_col_col(self):
+        condition = AtomicCondition(Col(0), Comparator.EQ, Col(2))
+        assert condition.evaluate(("a", 1, "a"))
+        assert not condition.evaluate(("a", 1, "b"))
+
+    def test_const_only_rejected(self):
+        with pytest.raises(EvaluationError):
+            AtomicCondition(Const(1), Comparator.EQ, Const(1))
+
+    def test_columns(self):
+        condition = AtomicCondition(Col(3), Comparator.LT, Col(1))
+        assert condition.columns() == (3, 1)
+        assert condition.is_column_pair
+
+    def test_render(self):
+        condition = AtomicCondition(Col(0), Comparator.GE, Const(250_000))
+        assert condition.render(["BUDGET"]) == "BUDGET >= 250,000"
+
+
+class TestPSJQuery:
+    def test_offsets_and_width(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R"), Occurrence("S")), (), (0,)
+        )
+        assert plan.offsets(schema) == (0, 2)
+        assert plan.total_width(schema) == 4
+
+    def test_occurrence_of_column(self, schema):
+        plan = PSJQuery((Occurrence("R"), Occurrence("S")), (), (0,))
+        assert plan.occurrence_of_column(schema, 1) == 0
+        assert plan.occurrence_of_column(schema, 2) == 1
+        with pytest.raises(EvaluationError):
+            plan.occurrence_of_column(schema, 9)
+
+    def test_product_columns_single(self, schema):
+        plan = PSJQuery((Occurrence("R"),), (), (0,))
+        labels = [c.label for c in plan.product_columns(schema)]
+        assert labels == ["A", "N"]
+
+    def test_product_columns_multi_occurrence(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R", 1), Occurrence("R", 2)), (), (0,)
+        )
+        labels = [c.label for c in plan.product_columns(schema)]
+        assert labels == ["A:1", "N:1", "A:2", "N:2"]
+
+    def test_output_columns(self, schema):
+        plan = PSJQuery((Occurrence("R"),), (), (1, 0))
+        labels = [c.label for c in plan.output_columns(schema)]
+        assert labels == ["N", "A"]
+
+    def test_validate_catches_out_of_range(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R"),),
+            (AtomicCondition(Col(5), Comparator.EQ, Const("x")),),
+            (0,),
+        )
+        with pytest.raises(EvaluationError):
+            plan.validate(schema)
+
+    def test_validate_catches_domain_mismatch(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R"),),
+            (AtomicCondition(Col(0), Comparator.EQ, Const(3)),),
+            (0,),
+        )
+        with pytest.raises(TypeMismatchError):
+            plan.validate(schema)
+
+    def test_validate_projection_range(self, schema):
+        plan = PSJQuery((Occurrence("R"),), (), (7,))
+        with pytest.raises(EvaluationError):
+            plan.validate(schema)
+
+    def test_empty_occurrences_rejected(self):
+        with pytest.raises(EvaluationError):
+            PSJQuery((), (), (0,))
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(EvaluationError):
+            PSJQuery((Occurrence("R"),), (), ())
+
+    def test_relation_names(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R"), Occurrence("S"), Occurrence("R", 2)),
+            (), (0,),
+        )
+        assert plan.relation_names() == frozenset({"R", "S"})
+
+    def test_describe(self, schema):
+        plan = PSJQuery(
+            (Occurrence("R"),),
+            (AtomicCondition(Col(1), Comparator.GE, Const(1)),),
+            (0,),
+        )
+        text = plan.describe(schema)
+        assert "R" in text and "sigma" in text and "pi" in text
+
+
+class TestOccurrence:
+    def test_str(self):
+        assert str(Occurrence("R")) == "R"
+        assert str(Occurrence("R", 2)) == "R:2"
+
+    def test_counts(self):
+        counts = occurrence_counts(
+            [Occurrence("R"), Occurrence("R", 2), Occurrence("S")]
+        )
+        assert counts == {"R": 2, "S": 1}

@@ -1,0 +1,211 @@
+"""Unit tests for the Section 6 extensions: updates, disjunction,
+existential closure."""
+
+import pytest
+
+from repro.calculus.ast import AttrRef, Condition, ConstTerm
+from repro.config import DEFAULT_CONFIG
+from repro.core.engine import AuthorizationEngine
+from repro.errors import AuthorizationError, SafetyError
+from repro.extensions.disjunction import (
+    define_disjunctive_view,
+    permit_disjunctive,
+    revoke_disjunctive,
+)
+from repro.extensions.updates import UpdateAuthorizer
+from repro.meta.catalog import PermissionCatalog
+from repro.predicates.comparators import Comparator
+from repro.workloads.paperdb import build_paper_database
+
+
+@pytest.fixture
+def engine():
+    database = build_paper_database()
+    catalog = PermissionCatalog(database.schema)
+    catalog.define_view(
+        "view ACME (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+        "where PROJECT.SPONSOR = Acme"
+    )
+    catalog.permit("ACME", "manager")
+    return AuthorizationEngine(database, catalog)
+
+
+class TestInsert:
+    def test_insert_within_view(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        authorizer.insert("manager", "PROJECT", ("zq-99", "Acme", 50_000))
+        assert ("zq-99", "Acme", 50_000) in engine.database.instance(
+            "PROJECT"
+        )
+
+    def test_insert_outside_view_denied(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        with pytest.raises(AuthorizationError):
+            authorizer.insert("manager", "PROJECT",
+                              ("zq-99", "Apex", 50_000))
+        assert ("zq-99", "Apex", 50_000) not in engine.database.instance(
+            "PROJECT"
+        )
+
+    def test_check_insert_reports_reason(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        decision = authorizer.check_insert(
+            "manager", "PROJECT", ("p", "Apex", 1)
+        )
+        assert not decision.allowed and "not fully covered" in decision.reason
+
+
+class TestDelete:
+    def condition(self):
+        return Condition(
+            AttrRef("PROJECT", "SPONSOR"), Comparator.EQ, ConstTerm("Acme")
+        )
+
+    def test_delete_visible_rows(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        removed = authorizer.delete("manager", "PROJECT",
+                                    [self.condition()])
+        assert removed == 1
+        assert all(
+            row[1] != "Acme"
+            for row in engine.database.instance("PROJECT").rows
+        )
+
+    def test_strict_mode_refuses_overreach(self, engine):
+        authorizer = UpdateAuthorizer(engine, strict=True)
+        with pytest.raises(AuthorizationError):
+            authorizer.delete("manager", "PROJECT")  # matches Apex too
+
+    def test_lenient_mode_deletes_visible_only(self, engine):
+        authorizer = UpdateAuthorizer(engine, strict=False)
+        removed = authorizer.delete("manager", "PROJECT")
+        assert removed == 1
+        remaining = engine.database.instance("PROJECT")
+        assert remaining.cardinality == 2  # Apex and Summit survive
+
+
+class TestModify:
+    def condition(self):
+        return Condition(
+            AttrRef("PROJECT", "NUMBER"), Comparator.EQ, ConstTerm("bq-45")
+        )
+
+    def test_modify_within_view(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        changed = authorizer.modify(
+            "manager", "PROJECT", [self.condition()], {"BUDGET": 999}
+        )
+        assert changed == 1
+        assert ("bq-45", "Acme", 999) in engine.database.instance("PROJECT")
+
+    def test_modify_escaping_view_denied(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        with pytest.raises(AuthorizationError):
+            # Moving the row to Apex would take it outside ACME.
+            authorizer.modify(
+                "manager", "PROJECT", [self.condition()],
+                {"SPONSOR": "Apex"},
+            )
+
+    def test_modify_invisible_rows_denied(self, engine):
+        authorizer = UpdateAuthorizer(engine)
+        apex = Condition(
+            AttrRef("PROJECT", "NUMBER"), Comparator.EQ, ConstTerm("sv-72")
+        )
+        with pytest.raises(AuthorizationError):
+            authorizer.modify("manager", "PROJECT", [apex], {"BUDGET": 1})
+
+
+class TestDisjunction:
+    def test_union_of_branches(self):
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        view = define_disjunctive_view(catalog, "AA", [
+            "view B1 (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.SPONSOR = Acme",
+            "view B2 (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.SPONSOR = Apex",
+        ])
+        assert view.branch_names == ("AA#1", "AA#2")
+        permit_disjunctive(catalog, view, "u")
+        engine = AuthorizationEngine(database, catalog, DEFAULT_CONFIG)
+        answer = engine.authorize(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        visible = {
+            row for row in answer.delivered
+            if all(not str(v).startswith("#") for v in row)
+        }
+        assert visible == {("bq-45", "Acme"), ("sv-72", "Apex")}
+
+    def test_revoke_disjunctive(self):
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        view = define_disjunctive_view(catalog, "AA", [
+            "view B1 (PROJECT.NUMBER) where PROJECT.SPONSOR = Acme",
+        ])
+        permit_disjunctive(catalog, view, "u")
+        revoke_disjunctive(catalog, view, "u")
+        assert catalog.views_of("u") == ()
+
+    def test_shape_mismatch_rejected(self):
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        with pytest.raises(SafetyError):
+            define_disjunctive_view(catalog, "AA", [
+                "view B1 (PROJECT.NUMBER)",
+                "view B2 (PROJECT.SPONSOR)",
+            ])
+
+    def test_empty_branches_rejected(self):
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        with pytest.raises(SafetyError):
+            define_disjunctive_view(catalog, "AA", [])
+
+
+class TestExistentialClosure:
+    def test_est_projection_with_closure(self):
+        """With the closure, a single-EMPLOYEE query can use one EST
+        meta-tuple: the missing twin is subsumed by the present one."""
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        catalog.define_view(
+            "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+            "EMPLOYEE:1.TITLE) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"
+        )
+        catalog.permit("EST", "u")
+        query = "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)"
+
+        plain = AuthorizationEngine(database, catalog, DEFAULT_CONFIG)
+        assert plain.authorize("u", query).is_fully_masked
+
+        closed = AuthorizationEngine(
+            database, catalog,
+            DEFAULT_CONFIG.but(existential_closure=True),
+        )
+        answer = closed.authorize("u", query)
+        # pi over one EST atom is all (name, title) pairs: sound and
+        # now delivered.
+        assert answer.is_fully_delivered
+
+    def test_closure_never_excuses_unrelated_tuples(self):
+        """A genuinely dangling reference (ELP's x1 without the
+        ASSIGNMENT tuple) stays pruned even with the closure on."""
+        database = build_paper_database()
+        catalog = PermissionCatalog(database.schema)
+        catalog.define_view(
+            "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, "
+            "PROJECT.BUDGET) "
+            "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+            "and PROJECT.NUMBER = ASSIGNMENT.P_NO "
+            "and PROJECT.BUDGET >= 250,000"
+        )
+        catalog.permit("ELP", "u")
+        engine = AuthorizationEngine(
+            database, catalog,
+            DEFAULT_CONFIG.but(existential_closure=True),
+        )
+        answer = engine.authorize("u", "retrieve (EMPLOYEE.NAME)")
+        assert answer.is_fully_masked

@@ -1,0 +1,83 @@
+"""Unit tests for the four-case classifier (Section 4.2)."""
+
+import pytest
+
+from repro.predicates.implication import (
+    SelectionCase,
+    classify,
+    conjoined,
+)
+from repro.predicates.intervals import Interval
+
+MU = Interval(lo=300_000, hi=600_000)
+
+
+class TestPaperCases:
+    """The exact four probes of Section 4.2."""
+
+    def test_case_1_conjoin(self):
+        lam = Interval(lo=200_000, hi=400_000)
+        assert classify(MU, lam) is SelectionCase.CONJOIN
+        narrowed = conjoined(MU, lam)
+        assert narrowed.lo == 300_000 and narrowed.hi == 400_000
+
+    def test_case_2_retain(self):
+        lam = Interval(lo=200_000, hi=700_000)
+        assert classify(MU, lam) is SelectionCase.RETAIN
+
+    def test_case_3_clear(self):
+        lam = Interval(lo=400_000, hi=500_000)
+        assert classify(MU, lam) is SelectionCase.CLEAR
+
+    def test_case_4_discard(self):
+        lam = Interval(hi=300_000, hi_strict=True)
+        assert classify(MU, lam) is SelectionCase.DISCARD
+
+
+class TestPriorities:
+    def test_equivalence_prefers_clear(self):
+        # "Clearing selection predicates ensures that more meta-tuples
+        # will survive future projections."
+        assert classify(MU, MU) is SelectionCase.CLEAR
+
+    def test_true_mu_always_clears(self):
+        assert classify(Interval.top(), Interval(lo=5)) \
+            is SelectionCase.CLEAR
+
+    def test_true_lambda_retains(self):
+        assert classify(Interval(lo=5), Interval.top()) \
+            is SelectionCase.RETAIN
+
+    def test_empty_lambda_discards(self):
+        empty = Interval(lo=5, hi=3)
+        assert classify(MU, empty) is SelectionCase.DISCARD
+
+    def test_point_inside_clears(self):
+        assert classify(MU, Interval.point(400_000)) is SelectionCase.CLEAR
+
+    def test_point_outside_discards(self):
+        assert classify(MU, Interval.point(100)) is SelectionCase.DISCARD
+
+    def test_point_mu_inside_lambda_retains(self):
+        assert classify(Interval.point(400_000),
+                        Interval(lo=300_000)) is SelectionCase.RETAIN
+
+    def test_point_mu_outside_lambda_discards(self):
+        assert classify(Interval.point(100),
+                        Interval(lo=300_000)) is SelectionCase.DISCARD
+
+
+class TestSoundFallback:
+    @pytest.mark.parametrize("lam", [
+        Interval(excluded=frozenset([400_000])),
+        Interval(lo=350_000, hi=700_000),
+        Interval(lo=100, hi=350_000),
+    ])
+    def test_overlaps_conjoin(self, lam):
+        assert classify(MU, lam) is SelectionCase.CONJOIN
+        assert not conjoined(MU, lam).is_empty()
+
+    def test_string_domain(self):
+        mu = Interval.point("Acme")
+        assert classify(mu, Interval.point("Acme")) is SelectionCase.CLEAR
+        assert classify(mu, Interval.point("Apex")) is SelectionCase.DISCARD

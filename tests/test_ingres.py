@@ -1,0 +1,132 @@
+"""Unit tests for the INGRES query-modification baseline."""
+
+import pytest
+
+from repro.baselines.ingres import IngresModel
+from repro.baselines.interface import Outcome
+from repro.calculus.ast import AttrRef, Condition, ConstTerm
+from repro.errors import SchemaError
+from repro.predicates.comparators import Comparator
+
+
+@pytest.fixture
+def model(paper_db):
+    return IngresModel(paper_db)
+
+
+def acme_condition():
+    return Condition(
+        AttrRef("PROJECT", "SPONSOR"), Comparator.EQ, ConstTerm("Acme")
+    )
+
+
+class TestPermissions:
+    def test_permit_validates_attributes(self, model):
+        with pytest.raises(Exception):
+            model.permit("u", "PROJECT", ["NOPE"])
+
+    def test_single_relation_restriction(self, model):
+        cross = Condition(
+            AttrRef("EMPLOYEE", "NAME"), Comparator.EQ,
+            AttrRef("ASSIGNMENT", "E_NAME"),
+        )
+        with pytest.raises(SchemaError):
+            model.permit("u", "EMPLOYEE", ["NAME"], [cross])
+
+    def test_permissions_of(self, model):
+        model.permit("u", "PROJECT", ["NUMBER"])
+        assert len(model.permissions_of("u")) == 1
+        assert model.permissions_of("stranger") == ()
+
+
+class TestQueryModification:
+    def test_within_permissions_full(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"])
+        decision = model.authorize_query(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert decision.outcome is Outcome.FULL
+        assert len(decision.delivered) == 3
+
+    def test_qualification_conjoined(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"],
+                     [acme_condition()])
+        decision = model.authorize_query(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert decision.outcome is Outcome.PARTIAL
+        assert decision.delivered == (("bq-45", "Acme"),)
+
+    def test_uncovered_attributes_deny(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR"])
+        decision = model.authorize_query(
+            "u",
+            "retrieve (PROJECT.NUMBER) where PROJECT.BUDGET >= 100",
+        )
+        # BUDGET is addressed by the qualification but not permitted.
+        assert decision.outcome is Outcome.DENIED
+
+    def test_unpermitted_relation_denies_whole_query(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"])
+        decision = model.authorize_query(
+            "u",
+            "retrieve (PROJECT.NUMBER, EMPLOYEE.NAME)",
+        )
+        assert decision.outcome is Outcome.DENIED
+        assert "EMPLOYEE" in decision.note
+
+    def test_disjunctive_views_union(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"],
+                     [acme_condition()])
+        model.permit(
+            "u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"],
+            [Condition(AttrRef("PROJECT", "SPONSOR"), Comparator.EQ,
+                       ConstTerm("Apex"))],
+        )
+        decision = model.authorize_query(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        # Acme OR Apex qualify; Summit does not.
+        assert decision.outcome is Outcome.PARTIAL
+        assert set(decision.delivered) == {
+            ("bq-45", "Acme"), ("sv-72", "Apex"),
+        }
+
+    def test_join_query_with_per_relation_views(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"],
+                     [acme_condition()])
+        model.permit("u", "ASSIGNMENT", ["E_NAME", "P_NO"])
+        decision = model.authorize_query(
+            "u",
+            "retrieve (ASSIGNMENT.E_NAME, PROJECT.SPONSOR) "
+            "where ASSIGNMENT.P_NO = PROJECT.NUMBER",
+        )
+        assert decision.outcome is Outcome.PARTIAL
+        assert set(decision.delivered) == {
+            ("Jones", "Acme"), ("Smith", "Acme"),
+        }
+
+    def test_row_column_asymmetry(self, model):
+        """The paper's E7 scenario in unit form."""
+        predicate = Condition(
+            AttrRef("EMPLOYEE", "TITLE"), Comparator.NE,
+            ConstTerm("manager"),
+        )
+        model.permit("u", "EMPLOYEE", ["NAME", "TITLE"], [predicate])
+        reduced = model.authorize_query(
+            "u", "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)"
+        )
+        assert reduced.outcome is Outcome.PARTIAL
+        denied = model.authorize_query(
+            "u",
+            "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)",
+        )
+        assert denied.outcome is Outcome.DENIED
+
+    def test_delivered_cells_counter(self, model):
+        model.permit("u", "PROJECT", ["NUMBER", "SPONSOR", "BUDGET"],
+                     [acme_condition()])
+        decision = model.authorize_query(
+            "u", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert decision.delivered_cells == 2

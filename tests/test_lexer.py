@@ -1,0 +1,99 @@
+"""Unit tests for the statement-language lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop END
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_identifiers_and_punctuation(self):
+        assert kinds("retrieve (EMPLOYEE.NAME)") == [
+            TokenKind.IDENT, TokenKind.LPAREN, TokenKind.IDENT,
+            TokenKind.DOT, TokenKind.IDENT, TokenKind.RPAREN,
+        ]
+
+    def test_end_sentinel(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.END
+
+    def test_empty_input(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_comments_skipped(self):
+        assert values("a -- comment here\nb") == ["a", "b"]
+
+
+class TestNumbers:
+    def test_plain(self):
+        assert values("42") == [42]
+
+    def test_thousands_separators(self):
+        assert values("250,000") == [250_000]
+        assert values("1,234,567") == [1_234_567]
+
+    def test_decimal(self):
+        assert values("3.5") == [3.5]
+
+    def test_negative(self):
+        assert values("-5") == [-5]
+
+    def test_separator_vs_list_comma(self):
+        # "250,00" is not a valid grouped number: 250 then comma then 0.
+        assert values("250,00") == [250, ",", 0]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert values("'bq-45'") == ["bq-45"]
+
+    def test_double_quoted(self):
+        assert values('"hello world"') == ["hello world"]
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_dashed_identifier(self):
+        tokens = tokenize("bq-45")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "bq-45"
+
+
+class TestComparators:
+    @pytest.mark.parametrize("spelling", [
+        "<", "<=", ">", ">=", "=", "==", "!=", "<>", "≥", "≤", "≠",
+    ])
+    def test_spellings(self, spelling):
+        tokens = tokenize(f"a {spelling} b")
+        assert tokens[1].kind is TokenKind.COMPARE
+
+    def test_longest_match(self):
+        tokens = tokenize("a <= b")
+        assert tokens[1].text == "<="
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_keyword_recognition_is_parsers_job(self):
+        # The lexer treats keywords as identifiers.
+        tokens = tokenize("retrieve")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].is_keyword("retrieve")
+        assert tokens[0].is_keyword("RETRIEVE".lower())

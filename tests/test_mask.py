@@ -1,0 +1,220 @@
+"""Unit tests for masks, matching, application, and permit inference."""
+
+from repro.algebra.relation import Column, Relation
+from repro.algebra.types import INTEGER, STRING
+from repro.core.mask import (
+    MASKED,
+    Mask,
+    MaskedValue,
+    materialize_meta_tuple,
+    meta_tuple_matches,
+)
+from repro.core.statements import infer_permits
+from repro.meta.cell import MetaCell
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.table import MaskRow
+from repro.predicates.comparators import Comparator
+from repro.predicates.store import ConstraintStore
+
+COLUMNS = (
+    Column("NUMBER", STRING),
+    Column("SPONSOR", STRING),
+    Column("BUDGET", INTEGER),
+)
+
+EMPTY = ConstraintStore.empty()
+
+
+def tup(*cells, views=("V",)):
+    return MetaTuple(frozenset(views), tuple(cells), frozenset())
+
+
+def relation(*rows):
+    return Relation(COLUMNS, rows, validate=False)
+
+
+class TestMatching:
+    def test_constant_cell(self):
+        meta = tup(MetaCell.blank(True), MetaCell.constant("Acme", True),
+                   MetaCell.blank())
+        assert meta_tuple_matches(meta, EMPTY, ("p1", "Acme", 10))
+        assert not meta_tuple_matches(meta, EMPTY, ("p1", "Apex", 10))
+
+    def test_variable_interval(self):
+        store = EMPTY.constrain("x1", Comparator.GE, 100)
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.variable("x1"))
+        assert meta_tuple_matches(meta, store, ("p", "s", 150))
+        assert not meta_tuple_matches(meta, store, ("p", "s", 50))
+
+    def test_variable_consistency_across_cells(self):
+        meta = tup(MetaCell.variable("x1", True),
+                   MetaCell.variable("x1", True), MetaCell.blank())
+        assert meta_tuple_matches(meta, EMPTY, ("same", "same", 1))
+        assert not meta_tuple_matches(meta, EMPTY, ("a", "b", 1))
+
+    def test_all_blank_matches_everything(self):
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.blank())
+        assert meta_tuple_matches(meta, EMPTY, ("x", "y", 0))
+
+
+class TestMaskApplication:
+    def test_example1_mask(self):
+        mask = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True)),
+            EMPTY,
+        ),))
+        delivered = mask.apply(Relation(
+            COLUMNS[:2], [("bq-45", "Acme"), ("sv-72", "Apex")],
+            validate=False,
+        ))
+        assert delivered == (
+            ("bq-45", "Acme"),
+            (MASKED, MASKED),
+        )
+
+    def test_drop_fully_masked(self):
+        mask = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True)),
+            EMPTY,
+        ),))
+        delivered = mask.apply(
+            Relation(COLUMNS[:2], [("sv-72", "Apex")], validate=False),
+            drop_fully_masked=True,
+        )
+        assert delivered == ()
+
+    def test_union_of_mask_rows(self):
+        acme_numbers = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme")),
+            EMPTY,
+        )
+        all_sponsors = MaskRow(
+            tup(MetaCell.blank(), MetaCell.blank(True)),
+            EMPTY,
+        )
+        mask = Mask(COLUMNS[:2], (acme_numbers, all_sponsors))
+        delivered = mask.apply(Relation(
+            COLUMNS[:2], [("bq-45", "Acme"), ("sv-72", "Apex")],
+            validate=False,
+        ))
+        assert delivered == (
+            ("bq-45", "Acme"),
+            (MASKED, "Apex"),
+        )
+
+    def test_empty_mask_masks_everything(self):
+        mask = Mask(COLUMNS[:2], ())
+        assert mask.is_empty
+        delivered = mask.apply(Relation(
+            COLUMNS[:2], [("a", "b")], validate=False,
+        ))
+        assert delivered == ((MASKED, MASKED),)
+
+    def test_covers_everything(self):
+        full = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank(True)), EMPTY
+        ),))
+        assert full.covers_everything
+        partial = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank()), EMPTY
+        ),))
+        assert not partial.covers_everything
+
+
+class TestMaskedValue:
+    def test_singleton(self):
+        assert MaskedValue() is MASKED
+
+    def test_repr(self):
+        assert str(MASKED) == "#####"
+
+
+class TestMaterialize:
+    def test_selection_and_projection(self):
+        store = EMPTY.constrain("x1", Comparator.GE, 100)
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.variable("x1"))
+        instance = relation(
+            ("p1", "Acme", 150), ("p2", "Apex", 50), ("p3", "Zeta", 900)
+        )
+        result = materialize_meta_tuple(meta, store, instance)
+        assert set(result.rows) == {("p1",), ("p3",)}
+
+    def test_starred_variable_projected(self):
+        meta = tup(MetaCell.blank(True), MetaCell.blank(),
+                   MetaCell.variable("x1", True))
+        result = materialize_meta_tuple(
+            meta, EMPTY, relation(("p1", "A", 5))
+        )
+        assert set(result.rows) == {("p1", 5)}
+
+
+class TestInferPermits:
+    def test_example1_statement(self):
+        mask = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True)),
+            EMPTY,
+        ),))
+        permits = infer_permits(mask)
+        assert [str(p) for p in permits] == [
+            "permit (NUMBER, SPONSOR) where SPONSOR = Acme",
+        ]
+
+    def test_full_coverage_emits_nothing(self):
+        mask = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank(True)), EMPTY
+        ),))
+        assert infer_permits(mask) == ()
+
+    def test_empty_mask_emits_nothing(self):
+        assert infer_permits(Mask(COLUMNS[:2], ())) == ()
+
+    def test_variable_constraints_rendered(self):
+        store = EMPTY.constrain("x1", Comparator.GE, 300_000)
+        mask = Mask(COLUMNS, (MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank(),
+                MetaCell.variable("x1", True)),
+            store,
+        ),))
+        permits = infer_permits(mask)
+        assert [str(p) for p in permits] == [
+            "permit (NUMBER, BUDGET) where BUDGET >= 300,000",
+        ]
+
+    def test_column_equality_rendered(self):
+        mask = Mask(COLUMNS[:2], (MaskRow(
+            tup(MetaCell.variable("x1", True),
+                MetaCell.variable("x1", True)),
+            EMPTY,
+        ),))
+        permits = infer_permits(mask)
+        assert [str(p) for p in permits] == [
+            "permit (NUMBER, SPONSOR) where NUMBER = SPONSOR",
+        ]
+
+    def test_duplicate_rows_deduped(self):
+        row = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True)),
+            EMPTY,
+        )
+        other = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True),
+                views=("OTHER",)),
+            EMPTY,
+        )
+        mask = Mask(COLUMNS[:2], (row, other))
+        assert len(infer_permits(mask)) == 1
+
+    def test_unrestricted_statements_sort_first(self):
+        restricted = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.constant("Acme", True)),
+            EMPTY,
+        )
+        unrestricted = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank()), EMPTY
+        )
+        mask = Mask(COLUMNS[:2], (restricted, unrestricted))
+        permits = infer_permits(mask)
+        assert permits[0].clauses == ()

@@ -1,0 +1,235 @@
+"""Unit tests for view normalization (Section 3's rewriting)."""
+
+import pytest
+
+from repro.algebra.evaluate import evaluate_naive
+from repro.calculus.normalize import (
+    BlankContent,
+    ConstContent,
+    VarContent,
+    normalize_view,
+)
+from repro.errors import SafetyError
+from repro.lang.parser import parse_view
+from repro.predicates.comparators import Comparator
+
+
+def cells_of(nv):
+    return [str(c) for c in nv.cells]
+
+
+class TestPaperViews:
+    def test_sae(self, paper_db):
+        nv = normalize_view(
+            parse_view("view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)"),
+            paper_db.schema,
+        )
+        assert cells_of(nv) == ["_*", "_", "_*"]
+        assert nv.store.is_empty()
+
+    def test_psa_constant_substitution(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, "
+                "PROJECT.BUDGET) where PROJECT.SPONSOR = Acme"
+            ),
+            paper_db.schema,
+        )
+        assert cells_of(nv) == ["_*", "Acme*", "_*"]
+
+    def test_elp_join_variables(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, "
+                "PROJECT.NUMBER, PROJECT.BUDGET) "
+                "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+                "and PROJECT.NUMBER = ASSIGNMENT.P_NO "
+                "and PROJECT.BUDGET >= 250,000"
+            ),
+            paper_db.schema,
+        )
+        # EMPLOYEE(x1*, _*, _) PROJECT(x2*, _, x3*) ASSIGNMENT(x1*, x2*)
+        # — Figure 1 stars the ASSIGNMENT cells too: they carry head
+        # variables.
+        assert cells_of(nv) == [
+            "x1*", "_*", "_", "x2*", "_", "x3*", "x1*", "x2*",
+        ]
+        assert nv.store.interval_for("x3").contains(250_000)
+        assert not nv.store.interval_for("x3").contains(100)
+
+    def test_est_head_variable_stars_both_occurrences(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+                "EMPLOYEE:1.TITLE) "
+                "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"
+            ),
+            paper_db.schema,
+        )
+        # Both TITLE cells carry the starred head variable.
+        assert cells_of(nv) == ["_*", "x1*", "_", "_*", "x1*", "_"]
+
+
+class TestClassAnalysis:
+    def test_single_occurrence_becomes_blank(self, paper_db):
+        nv = normalize_view(
+            parse_view("view V (EMPLOYEE.NAME)"), paper_db.schema
+        )
+        contents = [type(c.content) for c in nv.cells]
+        assert contents == [BlankContent, BlankContent, BlankContent]
+        assert nv.cells[0].starred
+
+    def test_comparison_forces_variable(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view V (PROJECT.NUMBER) where PROJECT.BUDGET > 100"
+            ),
+            paper_db.schema,
+        )
+        assert isinstance(nv.cells[2].content, VarContent)
+        assert not nv.cells[2].starred
+
+    def test_constant_class_propagates(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view V (EMPLOYEE.NAME) "
+                "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+                "and ASSIGNMENT.E_NAME = Jones"
+            ),
+            paper_db.schema,
+        )
+        # The whole equality class is pinned to Jones.
+        assert isinstance(nv.cells[0].content, ConstContent)
+        assert nv.cells[0].content.value == "Jones"
+
+    def test_var_var_comparison(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view V (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME) "
+                "where EMPLOYEE:1.SALARY < EMPLOYEE:2.SALARY"
+            ),
+            paper_db.schema,
+        )
+        relations = nv.store.relations()
+        assert len(relations) == 1
+        assert relations[0].op is Comparator.LT
+
+
+class TestStaticUnsatisfiability:
+    def test_conflicting_constants(self, paper_db):
+        with pytest.raises(SafetyError):
+            normalize_view(
+                parse_view(
+                    "view V (PROJECT.NUMBER) "
+                    "where PROJECT.SPONSOR = Acme "
+                    "and PROJECT.SPONSOR = Apex"
+                ),
+                paper_db.schema,
+            )
+
+    def test_constant_violating_comparison(self, paper_db):
+        with pytest.raises(SafetyError):
+            normalize_view(
+                parse_view(
+                    "view V (PROJECT.NUMBER) "
+                    "where PROJECT.BUDGET = 100 "
+                    "and PROJECT.BUDGET >= 200"
+                ),
+                paper_db.schema,
+            )
+
+    def test_contradictory_interval(self, paper_db):
+        with pytest.raises(SafetyError):
+            normalize_view(
+                parse_view(
+                    "view V (PROJECT.NUMBER) "
+                    "where PROJECT.BUDGET > 200 and PROJECT.BUDGET < 100"
+                ),
+                paper_db.schema,
+            )
+
+    def test_self_inequality_after_substitution(self, paper_db):
+        with pytest.raises(SafetyError):
+            normalize_view(
+                parse_view(
+                    "view V (EMPLOYEE:1.NAME) "
+                    "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE "
+                    "and EMPLOYEE:1.TITLE != EMPLOYEE:2.TITLE"
+                ),
+                paper_db.schema,
+            )
+
+    def test_trivial_self_le_is_dropped(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view V (EMPLOYEE:1.NAME) "
+                "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE "
+                "and EMPLOYEE:1.TITLE <= EMPLOYEE:2.TITLE"
+            ),
+            paper_db.schema,
+        )
+        assert nv.store.relations() == ()
+
+
+class TestMaterialization:
+    def test_psa_extension(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, "
+                "PROJECT.BUDGET) where PROJECT.SPONSOR = Acme"
+            ),
+            paper_db.schema,
+        )
+        relation = evaluate_naive(
+            nv.materialization_psj(paper_db.schema), paper_db
+        )
+        assert set(relation.rows) == {("bq-45", "Acme", 300_000)}
+
+    def test_elp_extension(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, "
+                "PROJECT.NUMBER, PROJECT.BUDGET) "
+                "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+                "and PROJECT.NUMBER = ASSIGNMENT.P_NO "
+                "and PROJECT.BUDGET >= 250,000"
+            ),
+            paper_db.schema,
+        )
+        relation = evaluate_naive(
+            nv.materialization_psj(paper_db.schema), paper_db
+        )
+        assert ("Jones", "manager", "bq-45", 300_000) in relation
+        assert ("Brown", "engineer", "sv-72", 450_000) in relation
+        # vg-13's budget (150k) is below the threshold.
+        assert all(row[3] >= 250_000 for row in relation.rows)
+
+    def test_est_extension_includes_reflexive_pairs(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+                "EMPLOYEE:1.TITLE) "
+                "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"
+            ),
+            paper_db.schema,
+        )
+        relation = evaluate_naive(
+            nv.materialization_psj(paper_db.schema), paper_db
+        )
+        assert ("Jones", "Jones", "manager") in relation
+        assert relation.cardinality == 3  # all titles unique in Figure 1
+
+    def test_ne_and_var_var_in_psj(self, paper_db):
+        nv = normalize_view(
+            parse_view(
+                "view V (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME) "
+                "where EMPLOYEE:1.SALARY < EMPLOYEE:2.SALARY "
+                "and EMPLOYEE:1.NAME != Jones"
+            ),
+            paper_db.schema,
+        )
+        relation = evaluate_naive(
+            nv.materialization_psj(paper_db.schema), paper_db
+        )
+        assert ("Smith", "Jones") in relation
+        assert all(row[0] != "Jones" for row in relation.rows)

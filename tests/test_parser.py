@@ -1,0 +1,163 @@
+"""Unit tests for the statement-language parser."""
+
+import pytest
+
+from repro.calculus.ast import AttrRef, ConstTerm, Query, ViewDefinition
+from repro.errors import ParseError
+from repro.lang.parser import (
+    PermitCommand,
+    RevokeCommand,
+    parse_program,
+    parse_query,
+    parse_statement,
+    parse_view,
+)
+from repro.predicates.comparators import Comparator
+
+
+class TestViewStatements:
+    def test_paper_elp(self):
+        view = parse_view(
+            "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, "
+            "PROJECT.BUDGET) "
+            "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+            "and PROJECT.NUMBER = ASSIGNMENT.P_NO "
+            "and PROJECT.BUDGET >= 250,000"
+        )
+        assert view.name == "ELP"
+        assert len(view.target) == 4
+        assert len(view.conditions) == 3
+        last = view.conditions[-1]
+        assert last.op is Comparator.GE
+        assert isinstance(last.rhs, ConstTerm)
+        assert last.rhs.value == 250_000
+
+    def test_paper_est_occurrences(self):
+        view = parse_view(
+            "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, "
+            "EMPLOYEE:1.TITLE) "
+            "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE"
+        )
+        assert view.target[1] == AttrRef("EMPLOYEE", "NAME", 2)
+
+    def test_view_without_conditions(self):
+        view = parse_view("view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)")
+        assert view.conditions == ()
+
+    def test_bare_constant(self):
+        view = parse_view(
+            "view PSA (PROJECT.NUMBER) where PROJECT.SPONSOR = Acme"
+        )
+        assert view.conditions[0].rhs == ConstTerm("Acme")
+
+    def test_quoted_constant(self):
+        view = parse_view(
+            "view V (PROJECT.NUMBER) where PROJECT.NUMBER = 'bq-45'"
+        )
+        assert view.conditions[0].rhs == ConstTerm("bq-45")
+
+    def test_mathematical_comparators(self):
+        view = parse_view(
+            "view V (PROJECT.NUMBER) where PROJECT.BUDGET ≥ 250,000"
+        )
+        assert view.conditions[0].op is Comparator.GE
+
+
+class TestRetrieveStatements:
+    def test_example1(self):
+        query = parse_query(
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.BUDGET >= 250,000"
+        )
+        assert isinstance(query, Query)
+        assert len(query.target) == 2
+
+    def test_multiline(self):
+        query = parse_query(
+            """retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+               where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+               and ASSIGNMENT.P_NO = PROJECT.NUMBER
+               and PROJECT.SPONSOR = Acme"""
+        )
+        assert len(query.conditions) == 3
+
+    def test_constant_on_left(self):
+        query = parse_query(
+            "retrieve (PROJECT.NUMBER) where 250,000 <= PROJECT.BUDGET"
+        )
+        assert isinstance(query.conditions[0].lhs, ConstTerm)
+
+
+class TestPermitAndRevoke:
+    def test_paper_permit(self):
+        command = parse_statement("permit EST to KLEIN")
+        assert command == PermitCommand(("EST",), ("KLEIN",))
+
+    def test_permit_lists(self):
+        command = parse_statement("permit SAE, PSA, EST to Brown, Klein")
+        assert command.views == ("SAE", "PSA", "EST")
+        assert command.users == ("Brown", "Klein")
+
+    def test_revoke(self):
+        command = parse_statement("revoke ELP from Klein")
+        assert command == RevokeCommand(("ELP",), ("Klein",))
+
+    def test_case_insensitive_keywords(self):
+        command = parse_statement("PERMIT est TO klein")
+        assert isinstance(command, PermitCommand)
+
+
+class TestErrors:
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("select * from t")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_statement("permit A to B extra")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve PROJECT.NUMBER")
+
+    def test_reserved_word_as_name(self):
+        with pytest.raises(ParseError):
+            parse_statement("permit where to B")
+
+    def test_bad_occurrence_index(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve (E:0.N)")
+
+    def test_missing_comparator(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve (E.N) where E.N E.M")
+
+    def test_parse_query_rejects_views(self):
+        with pytest.raises(ParseError):
+            parse_query("view V (E.N)")
+
+    def test_parse_view_rejects_queries(self):
+        with pytest.raises(ParseError):
+            parse_view("retrieve (E.N)")
+
+
+class TestPrograms:
+    def test_semicolons(self):
+        statements = parse_program(
+            "permit A to B; revoke A from B; retrieve (X.Y)"
+        )
+        assert len(statements) == 3
+        assert isinstance(statements[2], Query)
+
+    def test_newline_separated(self):
+        statements = parse_program(
+            "permit A to B\nretrieve (X.Y)\nview V (X.Y)"
+        )
+        assert len(statements) == 3
+        assert isinstance(statements[2], ViewDefinition)
+
+    def test_empty_program(self):
+        assert parse_program("") == []
+
+    def test_trailing_semicolon(self):
+        assert len(parse_program("permit A to B;")) == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the pretty-printer, including round-trips."""
+
+import pytest
+
+from repro.lang.parser import parse_statement
+from repro.lang.printer import format_statement
+
+PAPER_STATEMENTS = [
+    "view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)",
+    "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+    "where PROJECT.SPONSOR = Acme",
+    "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, "
+    "PROJECT.BUDGET) where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+    "and PROJECT.NUMBER = ASSIGNMENT.P_NO "
+    "and PROJECT.BUDGET >= 250,000",
+    "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE) "
+    "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE",
+    "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+    "where PROJECT.BUDGET >= 250,000",
+    "permit EST to KLEIN",
+    "revoke ELP from Klein",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", PAPER_STATEMENTS)
+    def test_parse_format_parse(self, text):
+        first = parse_statement(text)
+        formatted = format_statement(first)
+        second = parse_statement(formatted)
+        assert first == second
+
+    @pytest.mark.parametrize("text", PAPER_STATEMENTS)
+    def test_format_is_fixpoint(self, text):
+        statement = parse_statement(text)
+        once = format_statement(statement)
+        twice = format_statement(parse_statement(once))
+        assert once == twice
+
+
+class TestLayout:
+    def test_where_clauses_on_own_lines(self):
+        statement = parse_statement(PAPER_STATEMENTS[2])
+        lines = format_statement(statement).splitlines()
+        assert any(line.startswith("where ") for line in lines)
+        assert sum(1 for line in lines if line.startswith("and ")) == 2
+
+    def test_long_target_list_wraps(self):
+        statement = parse_statement(
+            "view W (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY, "
+            "PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET, "
+            "ASSIGNMENT.E_NAME, ASSIGNMENT.P_NO)"
+        )
+        text = format_statement(statement, width=60)
+        assert all(len(line) <= 72 for line in text.splitlines())
+        assert parse_statement(text) == statement
+
+    def test_permit_renders_inline(self):
+        statement = parse_statement("permit A, B to U")
+        assert format_statement(statement) == "permit A, B to U"

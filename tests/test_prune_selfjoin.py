@@ -1,0 +1,219 @@
+"""Unit tests for pruning and the self-join refinement."""
+
+from repro.algebra.relation import Column
+from repro.algebra.schema import make_schema
+from repro.algebra.types import INTEGER, STRING
+from repro.meta.cell import MetaCell
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.prune import (
+    cleanup,
+    prune_dangling,
+    prune_invisible,
+    prune_unsatisfiable,
+)
+from repro.metaalgebra.selfjoin import combine, selfjoin_closure
+from repro.metaalgebra.table import MaskRow, MaskTable
+from repro.predicates.comparators import Comparator
+from repro.predicates.store import ConstraintStore
+
+
+def tup(*cells, views=("V",), provenance=(("V", 0),)):
+    return MetaTuple(frozenset(views), tuple(cells), frozenset(provenance))
+
+
+def table(*rows):
+    width = rows[0].meta.arity
+    cols = tuple(Column(f"C{i}", STRING) for i in range(width))
+    return MaskTable(cols, rows)
+
+
+EMPTY = ConstraintStore.empty()
+
+
+class TestDanglingPrune:
+    def test_resolved_variable_kept(self):
+        row = MaskRow(tup(
+            MetaCell.variable("x1", True), MetaCell.variable("x1", True),
+            provenance=(("V", 0), ("V", 1)),
+        ), EMPTY)
+        defining = {"x1": frozenset({("V", 0), ("V", 1)})}
+        assert prune_dangling(table(row), defining).cardinality == 1
+
+    def test_dangling_variable_pruned(self):
+        row = MaskRow(tup(
+            MetaCell.variable("x1", True), MetaCell.blank(),
+            provenance=(("V", 0),),
+        ), EMPTY)
+        defining = {"x1": frozenset({("V", 0), ("V", 1)})}
+        assert prune_dangling(table(row), defining).cardinality == 0
+
+    def test_comparison_only_variable_is_self_contained(self):
+        # x3 of ELP: defined by one meta-tuple plus COMPARISON.
+        row = MaskRow(tup(
+            MetaCell.variable("x3", True), MetaCell.blank(),
+            provenance=(("ELP", 1),),
+        ), EMPTY)
+        defining = {"x3": frozenset({("ELP", 1)})}
+        assert prune_dangling(table(row), defining).cardinality == 1
+
+    def test_excuse_keeps_row(self):
+        row = MaskRow(tup(
+            MetaCell.variable("x4", True), MetaCell.blank(),
+            provenance=(("EST", 0),),
+        ), EMPTY)
+        defining = {"x4": frozenset({("EST", 0), ("EST", 1)})}
+        kept = prune_dangling(
+            table(row), defining, excuse=lambda meta, missing: True
+        )
+        assert kept.cardinality == 1
+        rejected = prune_dangling(
+            table(row), defining, excuse=lambda meta, missing: False
+        )
+        assert rejected.cardinality == 0
+
+
+class TestOtherPrunes:
+    def test_unsatisfiable_row_pruned(self):
+        bad = EMPTY.constrain("x1", Comparator.GT, 5) \
+            .constrain("x1", Comparator.LT, 3)
+        row = MaskRow(tup(MetaCell.variable("x1", True),
+                          MetaCell.blank()), bad)
+        assert prune_unsatisfiable(table(row)).cardinality == 0
+
+    def test_invisible_row_pruned(self):
+        row = MaskRow(tup(MetaCell.constant("c"), MetaCell.blank()), EMPTY)
+        assert prune_invisible(table(row)).cardinality == 0
+
+    def test_cleanup_removes_subsumed_restricted_rows(self):
+        unrestricted = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank(True)), EMPTY
+        )
+        restricted = MaskRow(
+            tup(MetaCell.constant("c", True), MetaCell.blank()), EMPTY
+        )
+        out = cleanup(table(unrestricted, restricted))
+        assert out.cardinality == 1
+        assert out.rows[0].meta.cells[0].is_blank
+
+    def test_cleanup_keeps_wider_restricted_rows(self):
+        narrow_unrestricted = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank()), EMPTY
+        )
+        wide_restricted = MaskRow(
+            tup(MetaCell.constant("c", True), MetaCell.blank(True)), EMPTY
+        )
+        out = cleanup(table(narrow_unrestricted, wide_restricted))
+        assert out.cardinality == 2
+
+    def test_cleanup_collapses_nested_unrestricted_rows(self):
+        wide = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank(True)), EMPTY
+        )
+        narrow = MaskRow(
+            tup(MetaCell.blank(True), MetaCell.blank()), EMPTY
+        )
+        out = cleanup(table(wide, narrow))
+        assert out.cardinality == 1
+        assert out.rows[0].meta.starred_positions() == (0, 1)
+
+
+EMPLOYEE = make_schema(
+    "EMPLOYEE",
+    [("NAME", STRING), ("TITLE", STRING), ("SALARY", INTEGER)],
+    key=["NAME"],
+)
+
+
+class TestSelfJoin:
+    def sae(self):
+        return tup(
+            MetaCell.blank(True), MetaCell.blank(), MetaCell.blank(True),
+            views=("SAE",), provenance=(("SAE", 0),),
+        )
+
+    def est(self, ordinal):
+        return tup(
+            MetaCell.blank(True), MetaCell.variable("x4", True),
+            MetaCell.blank(),
+            views=("EST",), provenance=(("EST", ordinal),),
+        )
+
+    def test_paper_combination(self):
+        combined = combine(self.sae(), self.est(0), (0,))
+        assert combined is not None
+        assert [str(c) for c in combined.cells] == ["⊔*", "x4*", "⊔*"]
+        assert combined.views == frozenset({"SAE", "EST"})
+        assert combined.provenance == frozenset({("SAE", 0), ("EST", 0)})
+
+    def test_same_view_not_combined(self):
+        assert combine(self.est(0), self.est(1), (0,)) is None
+
+    def test_key_must_be_starred_on_both(self):
+        unkeyed = tup(
+            MetaCell.blank(False), MetaCell.blank(True), MetaCell.blank(),
+            views=("W",), provenance=(("W", 0),),
+        )
+        assert combine(self.sae(), unkeyed, (0,)) is None
+
+    def test_conflicting_constants_cancel(self):
+        a = tup(MetaCell.blank(True), MetaCell.constant("m"),
+                MetaCell.blank(), views=("A",), provenance=(("A", 0),))
+        b = tup(MetaCell.blank(True), MetaCell.constant("t"),
+                MetaCell.blank(), views=("B",), provenance=(("B", 0),))
+        assert combine(a, b, (0,)) is None
+
+    def test_equal_constants_merge(self):
+        a = tup(MetaCell.blank(True), MetaCell.constant("m", True),
+                MetaCell.blank(), views=("A",), provenance=(("A", 0),))
+        b = tup(MetaCell.blank(True), MetaCell.constant("m"),
+                MetaCell.blank(True), views=("B",), provenance=(("B", 0),))
+        combined = combine(a, b, (0,))
+        assert combined is not None
+        assert combined.cells[1].const_value == "m"
+        assert combined.cells[1].starred  # OR of stars
+
+    def test_var_vs_var_skipped(self):
+        a = tup(MetaCell.blank(True), MetaCell.variable("x1"),
+                MetaCell.blank(), views=("A",), provenance=(("A", 0),))
+        b = tup(MetaCell.blank(True), MetaCell.variable("x2"),
+                MetaCell.blank(), views=("B",), provenance=(("B", 0),))
+        assert combine(a, b, (0,)) is None
+
+    def test_closure_yields_both_est_combinations(self):
+        added = selfjoin_closure(
+            EMPLOYEE, [self.sae(), self.est(0), self.est(1)], EMPTY
+        )
+        assert len(added) == 2
+        provenances = {frozenset(t.provenance) for t in added}
+        assert frozenset({("SAE", 0), ("EST", 0)}) in provenances
+        assert frozenset({("SAE", 0), ("EST", 1)}) in provenances
+
+    def test_closure_keyless_relation_empty(self):
+        keyless = make_schema("LOG", [("A", STRING), ("B", STRING)])
+        assert selfjoin_closure(
+            keyless, [self.sae().project((0, 1))], EMPTY
+        ) == ()
+
+    def test_closure_respects_cap(self):
+        views = []
+        for i in range(10):
+            views.append(tup(
+                MetaCell.blank(True), MetaCell.blank(True),
+                MetaCell.blank(),
+                views=(f"V{i}",), provenance=((f"V{i}", 0),),
+            ))
+        added = selfjoin_closure(EMPLOYEE, views, EMPTY, max_tuples=5)
+        assert len(added) <= 5
+
+    def test_three_way_fixpoint(self):
+        a = tup(MetaCell.blank(True), MetaCell.blank(True),
+                MetaCell.blank(), views=("A",), provenance=(("A", 0),))
+        b = tup(MetaCell.blank(True), MetaCell.blank(),
+                MetaCell.blank(True), views=("B",), provenance=(("B", 0),))
+        c = tup(MetaCell.blank(True), MetaCell.constant("m", True),
+                MetaCell.blank(), views=("C",), provenance=(("C", 0),))
+        added = selfjoin_closure(EMPLOYEE, [a, b, c], EMPTY)
+        # Some combination must unite all three views.
+        assert any(
+            t.views == frozenset({"A", "B", "C"}) for t in added
+        )

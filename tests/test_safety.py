@@ -1,0 +1,111 @@
+"""Unit tests for safety and type checking of calculus expressions."""
+
+import pytest
+
+from repro.calculus.ast import (
+    AttrRef,
+    Condition,
+    ConstTerm,
+    Query,
+    ViewDefinition,
+)
+from repro.calculus.safety import check_expression, collect_occurrences
+from repro.errors import (
+    SafetyError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.predicates.comparators import Comparator
+
+
+def ref(rel, attr, occ=1):
+    return AttrRef(rel, attr, occ)
+
+
+class TestOccurrences:
+    def test_first_mention_order(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME"),),
+            (
+                Condition(ref("EMPLOYEE", "NAME"), Comparator.EQ,
+                          ref("ASSIGNMENT", "E_NAME")),
+                Condition(ref("ASSIGNMENT", "P_NO"), Comparator.EQ,
+                          ref("PROJECT", "NUMBER")),
+            ),
+        )
+        occurrences = collect_occurrences(query)
+        assert [str(o) for o in occurrences] == \
+            ["EMPLOYEE", "ASSIGNMENT", "PROJECT"]
+
+    def test_multi_occurrence(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME", 1), ref("EMPLOYEE", "NAME", 2)), ()
+        )
+        occurrences = check_expression(query, paper_db.schema)
+        assert [str(o) for o in occurrences] == ["EMPLOYEE", "EMPLOYEE:2"]
+
+
+class TestStructuralChecks:
+    def test_empty_target_rejected(self, paper_db):
+        with pytest.raises(SafetyError):
+            check_expression(Query((), ()), paper_db.schema)
+
+    def test_unknown_relation(self, paper_db):
+        with pytest.raises(UnknownRelationError):
+            check_expression(Query((ref("NOPE", "A"),), ()),
+                             paper_db.schema)
+
+    def test_unknown_attribute(self, paper_db):
+        with pytest.raises(UnknownAttributeError):
+            check_expression(Query((ref("EMPLOYEE", "WAGE"),), ()),
+                             paper_db.schema)
+
+    def test_occurrence_gap_rejected(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME", 1), ref("EMPLOYEE", "NAME", 3)), ()
+        )
+        with pytest.raises(SafetyError):
+            check_expression(query, paper_db.schema)
+
+    def test_zero_occurrence_rejected(self, paper_db):
+        query = Query((ref("EMPLOYEE", "NAME", 0),), ())
+        with pytest.raises(SafetyError):
+            check_expression(query, paper_db.schema)
+
+    def test_constant_only_condition_rejected(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME"),),
+            (Condition(ConstTerm(1), Comparator.EQ, ConstTerm(1)),),
+        )
+        with pytest.raises(SafetyError):
+            check_expression(query, paper_db.schema)
+
+
+class TestTypeChecks:
+    def test_cross_domain_comparison_rejected(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME"),),
+            (Condition(ref("EMPLOYEE", "NAME"), Comparator.EQ,
+                       ConstTerm(5)),),
+        )
+        with pytest.raises(TypeMismatchError):
+            check_expression(query, paper_db.schema)
+
+    def test_attr_attr_domain_mismatch(self, paper_db):
+        query = Query(
+            (ref("EMPLOYEE", "NAME"),),
+            (Condition(ref("EMPLOYEE", "NAME"), Comparator.EQ,
+                       ref("EMPLOYEE", "SALARY")),),
+        )
+        with pytest.raises(TypeMismatchError):
+            check_expression(query, paper_db.schema)
+
+    def test_valid_view_passes(self, paper_db):
+        view = ViewDefinition(
+            "V",
+            (ref("PROJECT", "NUMBER"),),
+            (Condition(ref("PROJECT", "BUDGET"), Comparator.GE,
+                       ConstTerm(250_000)),),
+        )
+        check_expression(view, paper_db.schema)

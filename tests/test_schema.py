@@ -1,0 +1,129 @@
+"""Unit tests for repro.algebra.schema."""
+
+import pytest
+
+from repro.algebra.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    make_schema,
+    qualified_label,
+)
+from repro.algebra.types import INTEGER, STRING
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+@pytest.fixture
+def employee():
+    return make_schema(
+        "EMPLOYEE",
+        [("NAME", STRING), ("TITLE", STRING), ("SALARY", INTEGER)],
+        key=["NAME"],
+    )
+
+
+class TestAttribute:
+    def test_valid_names(self):
+        Attribute("NAME", STRING)
+        Attribute("A_1", INTEGER)
+
+    def test_invalid_names(self):
+        with pytest.raises(SchemaError):
+            Attribute("", STRING)
+        with pytest.raises(SchemaError):
+            Attribute("A B", STRING)
+
+    def test_str(self):
+        assert str(Attribute("X", INTEGER)) == "X:integer"
+
+
+class TestRelationSchema:
+    def test_arity_and_names(self, employee):
+        assert employee.arity == 3
+        assert employee.attribute_names == ("NAME", "TITLE", "SALARY")
+
+    def test_index_of(self, employee):
+        assert employee.index_of("NAME") == 0
+        assert employee.index_of("SALARY") == 2
+
+    def test_index_of_unknown(self, employee):
+        with pytest.raises(UnknownAttributeError):
+            employee.index_of("WAGE")
+
+    def test_has_attribute(self, employee):
+        assert employee.has_attribute("TITLE")
+        assert not employee.has_attribute("BUDGET")
+
+    def test_domain_of(self, employee):
+        assert employee.domain_of("SALARY") is INTEGER
+        assert employee.domain_of("NAME") is STRING
+
+    def test_key_indices(self, employee):
+        assert employee.key_indices() == (0,)
+
+    def test_composite_key(self):
+        schema = make_schema(
+            "ASSIGNMENT", [("E", STRING), ("P", STRING)], key=["E", "P"]
+        )
+        assert schema.key_indices() == (0, 1)
+
+    def test_keyless(self):
+        schema = make_schema("LOG", [("MSG", STRING)])
+        assert schema.key_indices() == ()
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("R", [("A", STRING), ("A", INTEGER)])
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_key_must_reference_attributes(self):
+        with pytest.raises(SchemaError):
+            make_schema("R", [("A", STRING)], key=["B"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("", [("A", STRING)])
+
+    def test_iteration_and_str(self, employee):
+        assert [a.name for a in employee] == ["NAME", "TITLE", "SALARY"]
+        assert str(employee) == "EMPLOYEE(NAME, TITLE, SALARY)"
+
+
+class TestDatabaseSchema:
+    def test_add_and_get(self, employee):
+        db = DatabaseSchema()
+        db.add(employee)
+        assert db.get("EMPLOYEE") is employee
+        assert "EMPLOYEE" in db
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self, employee):
+        db = DatabaseSchema()
+        db.add(employee)
+        with pytest.raises(SchemaError):
+            db.add(employee)
+
+    def test_get_unknown(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseSchema().get("NOPE")
+
+    def test_names_preserve_order(self, employee):
+        db = DatabaseSchema()
+        db.add(make_schema("Z", [("A", STRING)]))
+        db.add(employee)
+        assert db.names() == ("Z", "EMPLOYEE")
+
+
+class TestQualifiedLabel:
+    def test_single_occurrence(self):
+        assert qualified_label("EMPLOYEE", 1, "NAME") == "NAME"
+
+    def test_multi_occurrence(self):
+        assert qualified_label("EMPLOYEE", 2, "NAME", multi=True) == "NAME:2"

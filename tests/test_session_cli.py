@@ -1,0 +1,137 @@
+"""Unit tests for the front end (Session/FrontEnd) and the CLI REPL."""
+
+import io
+
+import pytest
+
+from repro.cli import BUILTIN_DATABASES, Repl, run_repl
+from repro.core.session import FrontEnd, Session
+from repro.errors import ReproError
+from repro.workloads.paperdb import EXAMPLE_1_QUERY, build_paper_engine
+
+
+class TestFrontEnd:
+    def test_view_definition(self, paper_db):
+        from repro.core.engine import AuthorizationEngine
+
+        engine = AuthorizationEngine(paper_db)
+        front = FrontEnd(engine)
+        result = front.execute("view V (EMPLOYEE.NAME)", "admin")
+        assert "defined" in result.message
+        assert engine.catalog.has_view("V")
+
+    def test_permit_multiple(self, paper_db):
+        from repro.core.engine import AuthorizationEngine
+
+        engine = AuthorizationEngine(paper_db)
+        front = FrontEnd(engine)
+        front.execute("view A (EMPLOYEE.NAME)", "admin")
+        front.execute("view B (EMPLOYEE.TITLE)", "admin")
+        front.execute("permit A, B to u1, u2", "admin")
+        assert engine.catalog.views_of("u1") == ("A", "B")
+        assert engine.catalog.views_of("u2") == ("A", "B")
+
+    def test_revoke(self, paper_engine):
+        front = FrontEnd(paper_engine)
+        front.execute("revoke EST from Brown", "admin")
+        assert paper_engine.catalog.views_of("Brown") == ("SAE", "PSA")
+
+    def test_retrieve_returns_answer(self, paper_engine):
+        front = FrontEnd(paper_engine)
+        result = front.execute(EXAMPLE_1_QUERY, "Brown")
+        assert result.answer is not None
+        assert "Acme" in result.message
+
+
+class TestSession:
+    def test_fixed_user(self, paper_engine):
+        session = Session(paper_engine, "Brown")
+        answer = session.retrieve(EXAMPLE_1_QUERY)
+        assert answer.user == "Brown"
+
+    def test_retrieve_rejects_commands(self, paper_engine):
+        session = Session(paper_engine, "Brown")
+        with pytest.raises(ReproError):
+            session.retrieve("permit SAE to Brown")
+
+
+class TestRepl:
+    def test_statement_flow(self):
+        repl = Repl(build_paper_engine(), user="Brown")
+        output = repl.process_line(EXAMPLE_1_QUERY.replace("\n", " "))
+        assert "Acme" in output
+        assert "permit (NUMBER, SPONSOR)" in output
+
+    def test_user_switching(self):
+        repl = Repl(build_paper_engine())
+        assert "Brown" in repl.process_line(".user Brown")
+        assert repl.user == "Brown"
+        assert "current user" in repl.process_line(".user")
+
+    def test_tables(self):
+        repl = Repl(build_paper_engine())
+        output = repl.process_line(".tables")
+        assert "EMPLOYEE: 3 rows" in output
+
+    def test_views_and_grants(self):
+        repl = Repl(build_paper_engine())
+        assert "view SAE" in repl.process_line(".views")
+        assert "Brown" in repl.process_line(".grants")
+
+    def test_meta(self):
+        repl = Repl(build_paper_engine())
+        output = repl.process_line(".meta EMPLOYEE")
+        assert "x1*" in output
+        assert "usage" in repl.process_line(".meta")
+        assert "error" in repl.process_line(".meta NOPE")
+
+    def test_trace_toggle(self):
+        repl = Repl(build_paper_engine(), user="Brown")
+        repl.process_line(".trace")
+        output = repl.process_line(
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.BUDGET >= 250,000"
+        )
+        assert "mask (A')" in output
+
+    def test_parse_errors_reported(self):
+        repl = Repl(build_paper_engine())
+        assert "error" in repl.process_line("retrieve oops")
+
+    def test_blank_lines_and_comments_ignored(self):
+        repl = Repl(build_paper_engine())
+        assert repl.process_line("") == ""
+        assert repl.process_line("-- comment") == ""
+
+    def test_quit(self):
+        repl = Repl(build_paper_engine())
+        assert repl.process_line(".quit") == "bye"
+        assert repl.done
+
+    def test_unknown_dot_command(self):
+        repl = Repl(build_paper_engine())
+        assert "unknown command" in repl.process_line(".bogus")
+
+    def test_help(self):
+        repl = Repl(build_paper_engine())
+        assert ".user" in repl.process_line(".help")
+
+
+class TestRunRepl:
+    def test_scripted_session(self):
+        stdin = io.StringIO(
+            ".user Brown\n"
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) "
+            "where PROJECT.BUDGET >= 250,000\n"
+            ".quit\n"
+        )
+        stdout = io.StringIO()
+        code = run_repl(build_paper_engine(), "admin", stdin, stdout)
+        assert code == 0
+        output = stdout.getvalue()
+        assert "Acme" in output and "bye" in output
+
+    def test_builtin_databases_load(self):
+        for name, factory in BUILTIN_DATABASES.items():
+            engine = factory()
+            assert engine.database.total_rows() > 0, name

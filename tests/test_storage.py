@@ -1,0 +1,97 @@
+"""Unit tests for the persistence layer."""
+
+import io
+import json
+
+import pytest
+
+from repro import storage
+from repro.core.engine import AuthorizationEngine
+from repro.errors import ReproError
+from repro.experiments.tables import meta_tuple_cells
+from repro.workloads.paperdb import EXAMPLE_1_QUERY, EXAMPLE_3_QUERY
+
+
+class TestRoundTrip:
+    def test_schema_and_rows_survive(self, paper_db, paper_catalog):
+        text = storage.dumps(paper_db, paper_catalog)
+        database, _catalog = storage.loads(text)
+        assert database.relation_names() == paper_db.relation_names()
+        for name in paper_db.relation_names():
+            assert database.instance(name).same_rows(
+                paper_db.instance(name)
+            )
+            assert database.schema_of(name).key == \
+                paper_db.schema_of(name).key
+
+    def test_views_reencode_identically(self, paper_db, paper_catalog):
+        database, catalog = storage.loads(
+            storage.dumps(paper_db, paper_catalog)
+        )
+        assert catalog.view_names() == paper_catalog.view_names()
+        for relation in database.relation_names():
+            original = [
+                (view, meta_tuple_cells(meta))
+                for view, meta in paper_catalog.meta_relation_rows(relation)
+            ]
+            reloaded = [
+                (view, meta_tuple_cells(meta))
+                for view, meta in catalog.meta_relation_rows(relation)
+            ]
+            assert original == reloaded  # variable numbering included
+
+    def test_grants_survive_in_order(self, paper_db, paper_catalog):
+        _db, catalog = storage.loads(
+            storage.dumps(paper_db, paper_catalog)
+        )
+        assert catalog.permission_rows() == \
+            paper_catalog.permission_rows()
+
+    def test_reloaded_engine_behaves_identically(self, paper_db,
+                                                 paper_catalog):
+        database, catalog = storage.loads(
+            storage.dumps(paper_db, paper_catalog)
+        )
+        original = AuthorizationEngine(paper_db, paper_catalog)
+        reloaded = AuthorizationEngine(database, catalog)
+        for user, query in (
+            ("Brown", EXAMPLE_1_QUERY),
+            ("Brown", EXAMPLE_3_QUERY),
+        ):
+            first = original.authorize(user, query)
+            second = reloaded.authorize(user, query)
+            assert first.delivered == second.delivered
+            assert [str(p) for p in first.permits] == \
+                [str(p) for p in second.permits]
+
+
+class TestFileHandling:
+    def test_path_roundtrip(self, tmp_path, paper_db, paper_catalog):
+        target = tmp_path / "authdb.json"
+        storage.dump(paper_db, paper_catalog, target)
+        database, catalog = storage.load(target)
+        assert database.total_rows() == paper_db.total_rows()
+        assert catalog.view_names() == paper_catalog.view_names()
+
+    def test_stream_roundtrip(self, paper_db, paper_catalog):
+        buffer = io.StringIO()
+        storage.dump(paper_db, paper_catalog, buffer)
+        buffer.seek(0)
+        database, _catalog = storage.load(buffer)
+        assert database.total_rows() == paper_db.total_rows()
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ReproError):
+            storage.restore({"format": "something-else"})
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ReproError):
+            storage.restore({"format": storage.FORMAT,
+                             "relations": [{"oops": True}]})
+
+    def test_snapshot_is_json_serializable(self, paper_db, paper_catalog):
+        document = storage.snapshot(paper_db, paper_catalog)
+        json.dumps(document)  # must not raise
+        assert document["format"] == storage.FORMAT

@@ -1,0 +1,196 @@
+"""Unit tests for the constraint store (the COMPARISON relation)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.predicates.comparators import Comparator
+from repro.predicates.intervals import Interval
+from repro.predicates.store import ConstraintStore, VarRelation
+
+
+class TestVarRelation:
+    def test_canonical_orientation(self):
+        assert VarRelation.make("x", Comparator.GT, "y") == \
+            VarRelation.make("y", Comparator.LT, "x")
+
+    def test_ne_sorted(self):
+        assert VarRelation.make("y", Comparator.NE, "x") == \
+            VarRelation.make("x", Comparator.NE, "y")
+
+    def test_eq_rejected(self):
+        with pytest.raises(ReproError):
+            VarRelation.make("x", Comparator.EQ, "y")
+
+    def test_other(self):
+        relation = VarRelation.make("x", Comparator.LT, "y")
+        assert relation.other("x") == "y"
+        assert relation.other("y") == "x"
+
+
+class TestBasics:
+    def test_empty(self):
+        store = ConstraintStore.empty()
+        assert store.is_empty()
+        assert store.interval_for("x").is_top
+        assert not store.is_definitely_unsat()
+
+    def test_constrain(self):
+        store = ConstraintStore.empty().constrain(
+            "x", Comparator.GE, 250_000
+        )
+        assert store.interval_for("x").contains(250_000)
+        assert not store.interval_for("x").contains(249_999)
+
+    def test_constrain_accumulates(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 10)
+                 .constrain("x", Comparator.LE, 20))
+        interval = store.interval_for("x")
+        assert interval.contains(15)
+        assert not interval.contains(25)
+
+    def test_immutability(self):
+        base = ConstraintStore.empty()
+        base.constrain("x", Comparator.GE, 1)
+        assert base.is_empty()
+
+    def test_mentioned_vars(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 1)
+                 .relate("y", Comparator.LT, "z"))
+        assert store.mentioned_vars() == frozenset({"x", "y", "z"})
+
+    def test_equality_and_hash(self):
+        a = ConstraintStore.empty().constrain("x", Comparator.GE, 1)
+        b = ConstraintStore.empty().constrain("x", Comparator.GE, 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSubstitute:
+    def test_in_range(self):
+        store = ConstraintStore.empty().constrain("x", Comparator.GE, 10)
+        assert not store.substitute("x", 15).is_definitely_unsat()
+
+    def test_out_of_range(self):
+        store = ConstraintStore.empty().constrain("x", Comparator.GE, 10)
+        assert store.substitute("x", 5).is_definitely_unsat()
+
+    def test_relation_folds_onto_other_var(self):
+        store = ConstraintStore.empty().relate("x", Comparator.LT, "y")
+        bound = store.substitute("x", 10)
+        assert not bound.interval_for("y").contains(10)
+        assert bound.interval_for("y").contains(11)
+
+    def test_relation_folds_flipped(self):
+        store = ConstraintStore.empty().relate("x", Comparator.LT, "y")
+        bound = store.substitute("y", 10)
+        assert bound.interval_for("x").contains(9)
+        assert not bound.interval_for("x").contains(10)
+
+    def test_ne_relation_folds(self):
+        store = ConstraintStore.empty().relate("x", Comparator.NE, "y")
+        bound = store.substitute("x", 10)
+        assert not bound.interval_for("y").contains(10)
+
+
+class TestUnify:
+    def test_intervals_intersect(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 10)
+                 .constrain("y", Comparator.LE, 20))
+        merged = store.unify("x", "y")
+        interval = merged.interval_for("x")
+        assert interval.contains(15)
+        assert not interval.contains(5) and not interval.contains(25)
+
+    def test_self_relation_becomes_unsat(self):
+        store = ConstraintStore.empty().relate("x", Comparator.LT, "y")
+        assert store.unify("x", "y").is_definitely_unsat()
+
+    def test_le_self_relation_is_fine(self):
+        store = ConstraintStore.empty().relate("x", Comparator.LE, "y")
+        assert not store.unify("x", "y").is_definitely_unsat()
+
+    def test_unify_identity(self):
+        store = ConstraintStore.empty().constrain("x", Comparator.GE, 1)
+        assert store.unify("x", "x") is store
+
+
+class TestSatisfiability:
+    def test_empty_interval_unsat(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GT, 10)
+                 .constrain("x", Comparator.LT, 5))
+        assert store.is_definitely_unsat()
+
+    def test_chain_propagation(self):
+        # x >= 10, x < y, y < z, z <= 11 is unsatisfiable over ints.
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 10)
+                 .relate("x", Comparator.LT, "y")
+                 .relate("y", Comparator.LT, "z")
+                 .constrain("z", Comparator.LE, 10))
+        assert store.is_definitely_unsat()
+
+    def test_satisfiable_chain(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 10)
+                 .relate("x", Comparator.LT, "y")
+                 .constrain("y", Comparator.LE, 100))
+        assert not store.is_definitely_unsat()
+
+    def test_ne_between_equal_points(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.EQ, 5)
+                 .constrain("y", Comparator.EQ, 5)
+                 .relate("x", Comparator.NE, "y"))
+        assert store.is_definitely_unsat()
+
+    def test_satisfied_by_binding(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 10)
+                 .relate("x", Comparator.LT, "y"))
+        assert store.satisfied_by({"x": 10, "y": 11})
+        assert not store.satisfied_by({"x": 10, "y": 10})
+        assert not store.satisfied_by({"x": 9})
+        # Partial binding with a satisfiable residual is accepted.
+        assert store.satisfied_by({"x": 10})
+
+
+class TestScoping:
+    def test_restrict_closure_direct(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 1)
+                 .constrain("z", Comparator.GE, 9))
+        restricted = store.restrict_closure({"x"})
+        assert not restricted.interval_for("x").is_top
+        assert restricted.interval_for("z").is_top
+
+    def test_restrict_closure_transitive(self):
+        # x relates to y, y is bounded: y's bound must survive.
+        store = (ConstraintStore.empty()
+                 .relate("x", Comparator.LT, "y")
+                 .constrain("y", Comparator.LE, 5)
+                 .constrain("w", Comparator.GE, 0))
+        restricted = store.restrict_closure({"x"})
+        assert not restricted.interval_for("y").is_top
+        assert restricted.interval_for("w").is_top
+
+    def test_merge(self):
+        a = ConstraintStore.empty().constrain("x", Comparator.GE, 10)
+        b = ConstraintStore.empty().constrain("x", Comparator.LE, 20)
+        merged = a.merge(b)
+        assert not merged.interval_for("x").contains(25)
+        assert merged.interval_for("x").contains(15)
+
+    def test_rename(self):
+        store = (ConstraintStore.empty()
+                 .constrain("x", Comparator.GE, 1)
+                 .relate("x", Comparator.LT, "y"))
+        renamed = store.rename({"x": "a", "y": "b"})
+        assert not renamed.interval_for("a").is_top
+        assert renamed.relations_of("a")[0].other("a") == "b"
+
+    def test_replace_interval_with_top_removes(self):
+        store = ConstraintStore.empty().constrain("x", Comparator.GE, 1)
+        assert store.replace_interval("x", Interval.top()).is_empty()

@@ -1,0 +1,121 @@
+"""Unit tests for the System R baseline (grants, revocation, windows)."""
+
+import pytest
+
+from repro.baselines.interface import Outcome
+from repro.baselines.system_r import SystemRModel
+from repro.errors import GrantError, UnknownViewError
+
+
+@pytest.fixture
+def model(paper_db):
+    return SystemRModel(paper_db)
+
+
+class TestGrants:
+    def test_dba_owns_base_relations(self, model):
+        assert "PROJECT" in model.readable_objects("_dba")
+
+    def test_grant_and_read(self, model):
+        model.grant("_dba", "alice", "PROJECT")
+        assert "PROJECT" in model.readable_objects("alice")
+
+    def test_grant_requires_grant_option(self, model):
+        model.grant("_dba", "alice", "PROJECT")  # no grant option
+        with pytest.raises(GrantError):
+            model.grant("alice", "bob", "PROJECT")
+
+    def test_grant_option_chains(self, model):
+        model.grant("_dba", "alice", "PROJECT", grant_option=True)
+        model.grant("alice", "bob", "PROJECT")
+        assert "PROJECT" in model.readable_objects("bob")
+
+    def test_grant_unknown_object(self, model):
+        with pytest.raises(UnknownViewError):
+            model.grant("_dba", "alice", "NOPE")
+
+
+class TestRecursiveRevocation:
+    def test_simple_revoke(self, model):
+        model.grant("_dba", "alice", "PROJECT")
+        model.revoke("_dba", "alice", "PROJECT")
+        assert "PROJECT" not in model.readable_objects("alice")
+
+    def test_cascading_revoke(self, model):
+        model.grant("_dba", "alice", "PROJECT", grant_option=True)
+        model.grant("alice", "bob", "PROJECT", grant_option=True)
+        model.grant("bob", "carol", "PROJECT")
+        model.revoke("_dba", "alice", "PROJECT")
+        assert "PROJECT" not in model.readable_objects("bob")
+        assert "PROJECT" not in model.readable_objects("carol")
+
+    def test_independent_support_survives(self, model):
+        model.grant("_dba", "alice", "PROJECT", grant_option=True)
+        model.grant("_dba", "bob", "PROJECT", grant_option=True)
+        model.grant("alice", "carol", "PROJECT")
+        model.grant("bob", "carol", "PROJECT")
+        model.revoke("_dba", "alice", "PROJECT")
+        assert "PROJECT" in model.readable_objects("carol")
+
+    def test_timestamp_ordering_matters(self, model):
+        # bob grants to carol BEFORE bob himself gets the privilege:
+        # Griffiths-Wade invalidates carol's grant on revocation replay.
+        model.grant("_dba", "alice", "PROJECT", grant_option=True)
+        model.grant("alice", "bob", "PROJECT", grant_option=True)
+        model.grant("bob", "carol", "PROJECT")
+        # Later, bob acquires a second, independent source...
+        model.grant("_dba", "bob", "PROJECT", grant_option=True)
+        # ...but it is newer than bob's grant to carol.
+        model.revoke("alice", "bob", "PROJECT")
+        assert "PROJECT" not in model.readable_objects("carol")
+        assert "PROJECT" in model.readable_objects("bob")
+
+
+class TestWindows:
+    def test_view_creation_and_query(self, model):
+        model.create_view(
+            "_dba",
+            "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.SPONSOR = Acme",
+        )
+        model.grant("_dba", "brown", "PSA")
+        decision = model.authorize_view_query("brown", "PSA")
+        assert decision.outcome is Outcome.FULL
+        assert decision.delivered == (("bq-45", "Acme", 300_000),)
+
+    def test_window_denied_without_grant(self, model):
+        model.create_view("_dba", "view V (PROJECT.NUMBER)")
+        decision = model.authorize_view_query("brown", "V")
+        assert decision.outcome is Outcome.DENIED
+
+    def test_base_query_all_or_nothing(self, model):
+        model.grant("_dba", "alice", "PROJECT")
+        full = model.authorize_query(
+            "alice", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)"
+        )
+        assert full.outcome is Outcome.FULL
+        joined = model.authorize_query(
+            "alice",
+            "retrieve (PROJECT.NUMBER, ASSIGNMENT.E_NAME) "
+            "where PROJECT.NUMBER = ASSIGNMENT.P_NO",
+        )
+        assert joined.outcome is Outcome.DENIED
+        assert "ASSIGNMENT" in joined.note
+
+    def test_view_does_not_open_base_relations(self, model):
+        # The paper's core criticism.
+        model.create_view("_dba", "view V (PROJECT.NUMBER)")
+        model.grant("_dba", "alice", "V")
+        decision = model.authorize_query(
+            "alice", "retrieve (PROJECT.NUMBER)"
+        )
+        assert decision.outcome is Outcome.DENIED
+
+    def test_duplicate_object_name_rejected(self, model):
+        model.create_view("_dba", "view V (PROJECT.NUMBER)")
+        with pytest.raises(GrantError):
+            model.create_view("_dba", "view V (PROJECT.SPONSOR)")
+
+    def test_unknown_view_query(self, model):
+        with pytest.raises(UnknownViewError):
+            model.authorize_view_query("alice", "NOPE")

@@ -1,0 +1,16 @@
+"""Execute docs/TUTORIAL.md as doctests — the tutorial cannot rot."""
+
+import doctest
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_examples_run():
+    results = doctest.testfile(
+        str(TUTORIAL),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0, f"{results.failed} tutorial example(s) failed"
+    assert results.attempted > 10  # the tutorial actually ran

@@ -1,0 +1,94 @@
+"""Unit tests for repro.algebra.types."""
+
+import pytest
+
+from repro.algebra.types import (
+    INTEGER,
+    REAL,
+    STRING,
+    domain_named,
+    domain_of_value,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestDomainMembership:
+    def test_integer_contains_ints(self):
+        assert INTEGER.contains(0)
+        assert INTEGER.contains(-42)
+        assert INTEGER.contains(10**12)
+
+    def test_integer_rejects_floats_and_strings(self):
+        assert not INTEGER.contains(1.5)
+        assert not INTEGER.contains("1")
+
+    def test_integer_rejects_booleans(self):
+        # bool subclasses int in Python; the domain must not admit it.
+        assert not INTEGER.contains(True)
+        assert not INTEGER.contains(False)
+
+    def test_real_contains_ints_and_floats(self):
+        assert REAL.contains(1)
+        assert REAL.contains(1.5)
+        assert not REAL.contains("x")
+
+    def test_string_contains_strings_only(self):
+        assert STRING.contains("Acme")
+        assert STRING.contains("")
+        assert not STRING.contains(3)
+
+    def test_check_passes_value_through(self):
+        assert STRING.check("ok") == "ok"
+
+    def test_check_raises_on_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            STRING.check(7)
+
+
+class TestDomainProperties:
+    def test_integer_is_discrete(self):
+        assert INTEGER.discrete
+
+    def test_string_and_real_are_dense(self):
+        assert not STRING.discrete
+        assert not REAL.discrete
+
+    def test_all_domains_ordered(self):
+        for domain in (INTEGER, STRING, REAL):
+            assert domain.ordered
+
+    def test_numeric_domains_mutually_comparable(self):
+        assert INTEGER.comparable_with(REAL)
+        assert REAL.comparable_with(INTEGER)
+
+    def test_string_not_comparable_with_numbers(self):
+        assert not STRING.comparable_with(INTEGER)
+        assert not INTEGER.comparable_with(STRING)
+
+    def test_every_domain_comparable_with_itself(self):
+        for domain in (INTEGER, STRING, REAL):
+            assert domain.comparable_with(domain)
+
+
+class TestLookups:
+    def test_domain_named(self):
+        assert domain_named("integer") is INTEGER
+        assert domain_named("string") is STRING
+        assert domain_named("real") is REAL
+
+    def test_domain_named_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            domain_named("blob")
+
+    def test_domain_of_value(self):
+        assert domain_of_value(3) is INTEGER
+        assert domain_of_value(3.5) is REAL
+        assert domain_of_value("x") is STRING
+
+    def test_domain_of_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            domain_of_value(True)
+
+    def test_domain_of_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            domain_of_value(object())

@@ -1,0 +1,136 @@
+"""Unit tests for the update statements of the surface language."""
+
+import pytest
+
+from repro.core.session import FrontEnd
+from repro.errors import ParseError
+from repro.lang.parser import (
+    DeleteCommand,
+    InsertCommand,
+    ModifyCommand,
+    parse_statement,
+)
+
+
+class TestParsing:
+    def test_insert(self):
+        command = parse_statement(
+            "insert into PROJECT values ('zq-99', Acme, 120,000)"
+        )
+        assert command == InsertCommand(
+            "PROJECT", ("zq-99", "Acme", 120_000)
+        )
+
+    def test_insert_values_keyword_optional(self):
+        command = parse_statement("insert into R (x, 1)")
+        assert command == InsertCommand("R", ("x", 1))
+
+    def test_delete_with_where(self):
+        command = parse_statement(
+            "delete from PROJECT where PROJECT.SPONSOR = Acme"
+        )
+        assert isinstance(command, DeleteCommand)
+        assert command.relation == "PROJECT"
+        assert len(command.conditions) == 1
+
+    def test_delete_without_where(self):
+        command = parse_statement("delete from PROJECT")
+        assert command.conditions == ()
+
+    def test_modify(self):
+        command = parse_statement(
+            "modify PROJECT set BUDGET = 999, SPONSOR = Apex "
+            "where PROJECT.NUMBER = 'bq-45'"
+        )
+        assert isinstance(command, ModifyCommand)
+        assert command.updates == (("BUDGET", 999), ("SPONSOR", "Apex"))
+        assert len(command.conditions) == 1
+
+    def test_modify_requires_equals(self):
+        with pytest.raises(ParseError):
+            parse_statement("modify R set A >= 1")
+
+    def test_keyword_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("insert into R (where)")
+
+    def test_roundtrip_rendering(self):
+        for text in (
+            "insert into PROJECT values (zq-99, Acme, 120,000)",
+            "delete from PROJECT where PROJECT.SPONSOR = Acme",
+            "modify PROJECT set BUDGET = 999 "
+            "where PROJECT.NUMBER = bq-45",
+        ):
+            command = parse_statement(text)
+            assert parse_statement(str(command)) == command
+
+
+class TestFrontEndDispatch:
+    @pytest.fixture
+    def front(self, paper_db):
+        from repro.core.engine import AuthorizationEngine
+        from repro.meta.catalog import PermissionCatalog
+
+        catalog = PermissionCatalog(paper_db.schema)
+        catalog.define_view(
+            "view ACME (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET) "
+            "where PROJECT.SPONSOR = Acme"
+        )
+        catalog.permit("ACME", "manager")
+        engine = AuthorizationEngine(paper_db, catalog)
+        return FrontEnd(engine), engine
+
+    def test_insert_through_statement(self, front):
+        front_end, engine = front
+        result = front_end.execute(
+            "insert into PROJECT values (zq-99, Acme, 120,000)",
+            "manager",
+        )
+        assert "inserted 1 row" in result.message
+        assert ("zq-99", "Acme", 120_000) in engine.database.instance(
+            "PROJECT"
+        )
+
+    def test_insert_denied_outside_view(self, front):
+        from repro.errors import AuthorizationError
+
+        front_end, engine = front
+        with pytest.raises(AuthorizationError):
+            front_end.execute(
+                "insert into PROJECT values (zq-99, Apex, 120,000)",
+                "manager",
+            )
+
+    def test_delete_through_statement(self, front):
+        front_end, engine = front
+        result = front_end.execute(
+            "delete from PROJECT where PROJECT.SPONSOR = Acme",
+            "manager",
+        )
+        assert "deleted 1 row(s)" in result.message
+        assert all(
+            row[1] != "Acme"
+            for row in engine.database.instance("PROJECT").rows
+        )
+
+    def test_modify_through_statement(self, front):
+        front_end, engine = front
+        result = front_end.execute(
+            "modify PROJECT set BUDGET = 450,000 "
+            "where PROJECT.NUMBER = bq-45",
+            "manager",
+        )
+        assert "modified 1 row(s)" in result.message
+        assert ("bq-45", "Acme", 450_000) in engine.database.instance(
+            "PROJECT"
+        )
+
+    def test_repl_reports_denials_gracefully(self, paper_db):
+        from repro.cli import Repl
+        from repro.workloads import build_paper_engine
+
+        repl = Repl(build_paper_engine(), user="Brown")
+        output = repl.process_line(
+            "insert into PROJECT values (zq-99, Apex, 1)"
+        )
+        assert output.startswith("error:")

@@ -1,0 +1,162 @@
+"""Unit tests for workload generation and the bundled scenarios."""
+
+from repro.calculus.normalize import normalize_view
+from repro.core.mask import MASKED
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.paperdb import build_paper_database
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_workload(self):
+        a = WorkloadGenerator(7).workload(WorkloadSpec(seed=7))
+        b = WorkloadGenerator(7).workload(WorkloadSpec(seed=7))
+        assert [str(v) for v in a.views] == [str(v) for v in b.views]
+        for name in a.database.relation_names():
+            assert a.database.instance(name).rows == \
+                b.database.instance(name).rows
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(1).workload(WorkloadSpec(seed=1))
+        b = WorkloadGenerator(2).workload(WorkloadSpec(seed=2))
+        assert [str(v) for v in a.views] != [str(v) for v in b.views] or \
+            a.database.instance("R0").rows != b.database.instance("R0").rows
+
+
+class TestGeneratedArtifacts:
+    def test_schema_shape(self):
+        spec = WorkloadSpec(relations=5, seed=3)
+        schema = WorkloadGenerator(3).schema(spec)
+        assert len(schema) == 5
+        for relation in schema:
+            assert spec.min_arity <= relation.arity <= spec.max_arity
+            assert relation.key  # every relation keyed
+
+    def test_views_are_safe(self):
+        generator = WorkloadGenerator(11)
+        spec = WorkloadSpec(seed=11)
+        schema = generator.schema(spec)
+        for i in range(20):
+            view = generator.view(spec, schema, f"V{i}")
+            normalize_view(view, schema)  # must not raise
+
+    def test_queries_are_safe(self):
+        generator = WorkloadGenerator(13)
+        spec = WorkloadSpec(seed=13)
+        schema = generator.schema(spec)
+        for _ in range(20):
+            query = generator.query(spec, schema)
+            from repro.calculus.to_algebra import compile_query
+
+            compile_query(query, schema)  # must not raise
+
+    def test_every_user_has_grants(self):
+        workload = WorkloadGenerator(5).workload(WorkloadSpec(seed=5))
+        for user in workload.users:
+            assert workload.catalog.views_of(user)
+
+    def test_mutation_changes_exactly_one_relation(self):
+        generator = WorkloadGenerator(9)
+        spec = WorkloadSpec(seed=9)
+        workload = generator.workload(spec)
+        mutated = generator.mutate(spec, workload.database)
+        differences = sum(
+            1 for name in workload.database.relation_names()
+            if set(workload.database.instance(name).rows)
+            != set(mutated.instance(name).rows)
+        )
+        assert differences <= 1  # an edit may collide and be a no-op
+
+    def test_mutation_does_not_touch_original(self):
+        generator = WorkloadGenerator(10)
+        spec = WorkloadSpec(seed=10)
+        workload = generator.workload(spec)
+        snapshot = {
+            name: workload.database.instance(name).rows
+            for name in workload.database.relation_names()
+        }
+        generator.mutate(spec, workload.database)
+        for name, rows in snapshot.items():
+            assert workload.database.instance(name).rows == rows
+
+
+class TestPaperDatabase:
+    def test_figure1_contents(self):
+        database = build_paper_database()
+        assert database.instance("EMPLOYEE").cardinality == 3
+        assert database.instance("PROJECT").cardinality == 3
+        assert database.instance("ASSIGNMENT").cardinality == 6
+        assert ("Brown", "engineer", 32_000) in database.instance("EMPLOYEE")
+
+
+class TestScenarios:
+    def test_hospital_nurse_psychiatry_masked(self, hospital):
+        answer = hospital.engine.authorize(
+            "nurse", "retrieve (PATIENT.NAME, PATIENT.WARD)"
+        )
+        rows = set(answer.delivered)
+        assert ("Baker", MASKED) not in rows  # fully masked, not partial
+        assert (MASKED, MASKED) in rows
+        assert ("Adams", "cardiology") in rows
+
+    def test_hospital_billing_sees_costs_not_diagnoses(self, hospital):
+        answer = hospital.engine.authorize(
+            "billing",
+            "retrieve (TREATMENT.PID, TREATMENT.COST, PATIENT.DIAGNOSIS) "
+            "where TREATMENT.PID = PATIENT.PID",
+        )
+        assert answer.is_fully_masked  # BILLING is single-relation only
+
+    def test_hospital_house_sees_own_patients(self, hospital):
+        answer = hospital.engine.authorize(
+            "house",
+            "retrieve (PATIENT.NAME, PATIENT.DIAGNOSIS, TREATMENT.DRUG) "
+            "where PATIENT.PID = TREATMENT.PID "
+            "and TREATMENT.DOC = house",
+        )
+        assert answer.is_fully_delivered
+
+    def test_hospital_research_threshold(self, hospital):
+        answer = hospital.engine.authorize(
+            "research",
+            "retrieve (TREATMENT.PID, TREATMENT.COST) "
+            "where TREATMENT.COST >= 2000",
+        )
+        visible = {r for r in answer.delivered if MASKED not in r}
+        assert visible == {("p3", 4200), ("p4", 9100)}
+
+    def test_corporate_staff_cannot_see_salaries(self, corporate):
+        answer = corporate.engine.authorize(
+            "staff", "retrieve (EMP.ENAME, EMP.SALARY)"
+        )
+        assert all(row[1] is MASKED for row in answer.delivered)
+        assert any(row[0] is not MASKED for row in answer.delivered)
+
+    def test_corporate_hr_sees_everything(self, corporate):
+        answer = corporate.engine.authorize(
+            "hr", "retrieve (EMP.ENAME, EMP.SALARY, EMP.DEPT)"
+        )
+        assert answer.is_fully_delivered
+
+    def test_corporate_engmgr_salary_cap(self, corporate):
+        # The capped view restricts DEPT and SALARY, so the request
+        # must include them for the mask to be expressible (the
+        # Section 6(3) limitation the paper states: masks use only the
+        # requested attributes).
+        answer = corporate.engine.authorize(
+            "engmgr",
+            "retrieve (EMP.ENAME, EMP.DEPT, EMP.SALARY) "
+            "where EMP.DEPT = eng",
+        )
+        visible_salaries = {
+            row[2] for row in answer.delivered if row[2] is not MASKED
+        }
+        assert visible_salaries == {95_000}  # Bob only; Ada is over cap
+
+    def test_corporate_engmgr_limitation_without_salary_context(
+            self, corporate):
+        # Requesting salaries without DEPT leaves the capped view
+        # inexpressible over the answer: salaries stay masked.
+        answer = corporate.engine.authorize(
+            "engmgr", "retrieve (EMP.ENAME, EMP.SALARY)"
+        )
+        assert all(row[1] is MASKED for row in answer.delivered)
