@@ -46,7 +46,7 @@ def test_example3_selfjoin_cold_cache(benchmark, paper_engine):
 
     def run():
         paper_engine._selfjoin_cache.clear()
-        paper_engine._selfjoin_cache_version = -1
+        paper_engine._derivation_cache.clear()
         return paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
 
     answer = benchmark(run)

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import DEFAULT_CONFIG
 from repro.workloads.paperdb import build_paper_engine
 
 
 @pytest.fixture
 def paper_engine():
-    return build_paper_engine()
+    # The derivation cache is disabled so repeated benchmark rounds
+    # keep measuring the meta-algebra itself; bench_cache.py measures
+    # the cache explicitly with its own engines.
+    return build_paper_engine(DEFAULT_CONFIG.but(derivation_cache_size=0))

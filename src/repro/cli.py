@@ -20,6 +20,7 @@ Dot-commands inspect the machinery:
     .explain retrieve ...   full paper-style derivation trace
     .save FILE / .load FILE persist or restore database + permissions
     .audit                  show the audit trail (when enabled)
+    .stats                  show derivation-cache statistics
     .help / .quit
 """
 
@@ -163,6 +164,10 @@ class Repl:
             if self.engine.audit is None:
                 return "audit trail not enabled (start with --audit)"
             return self.engine.audit.report()
+        if command == ".stats":
+            if self.engine.config.derivation_cache_size <= 0:
+                return "derivation cache disabled (derivation_cache_size=0)"
+            return self.engine.stats().render()
         return f"unknown command {command}; try .help"
 
 

@@ -61,6 +61,12 @@ class EngineConfig:
             pairwise-joinable views; the cap keeps pathological catalogs
             tractable (dropping combinations is always sound — it only
             costs completeness).
+        derivation_cache_size: LRU capacity of the mask-derivation
+            cache (entries keyed by user and canonical plan key,
+            invalidated by catalog version tokens — see
+            ``docs/CACHING.md``).  0 disables caching; the delivered
+            answers are identical either way (the transparency
+            guarantee enforced by ``tests/test_derivation_cache.py``).
     """
 
     refine_selection: bool = True
@@ -73,6 +79,7 @@ class EngineConfig:
     drop_fully_masked_rows: bool = False
     max_selfjoin_rounds: int = 4
     max_selfjoin_tuples: int = 64
+    derivation_cache_size: int = 128
 
     def but(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -8,6 +8,7 @@ end.
 
 from repro.core.answer import AuthorizedAnswer, DeliveryStats
 from repro.core.audit import AuditLog, AuditRecord
+from repro.core.cache import CacheStats, DerivationCache
 from repro.core.engine import AuthorizationEngine
 from repro.core.explain import explain
 from repro.core.mask import (
@@ -29,7 +30,9 @@ __all__ = [
     "AuditRecord",
     "AuthorizationEngine",
     "AuthorizedAnswer",
+    "CacheStats",
     "DeliveryStats",
+    "DerivationCache",
     "FrontEnd",
     "FrontEndResult",
     "InferredPermit",

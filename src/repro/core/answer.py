@@ -50,6 +50,9 @@ class AuthorizedAnswer:
     delivered: Tuple[Tuple, ...]
     permits: Tuple[InferredPermit, ...]
     derivation: MaskDerivation
+    #: Whether the mask derivation was served from the engine's
+    #: derivation cache (the answer itself is always evaluated fresh).
+    cache_hit: bool = False
 
     @property
     def labels(self) -> Tuple[str, ...]:

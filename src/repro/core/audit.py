@@ -29,6 +29,8 @@ class AuditRecord:
     admissible_views: Tuple[str, ...]
     stats: DeliveryStats
     permit_statements: Tuple[str, ...]
+    #: Whether the mask derivation came from the derivation cache.
+    cache_hit: bool = False
 
     @property
     def outcome(self) -> str:
@@ -61,6 +63,7 @@ class AuditLog:
             admissible_views=answer.derivation.admissible_views,
             stats=answer.stats(),
             permit_statements=tuple(str(p) for p in answer.permits),
+            cache_hit=answer.cache_hit,
         )
         self._records.append(entry)
         if self.capacity is not None and len(self._records) > self.capacity:
@@ -89,6 +92,10 @@ class AuditLog:
             counts[entry.outcome] += 1
         return counts
 
+    def cached_count(self, user: Optional[str] = None) -> int:
+        """How many recorded derivations were served from the cache."""
+        return sum(1 for r in self.records(user) if r.cache_hit)
+
     def delivered_fraction(self, user: Optional[str] = None) -> float:
         """Overall delivered-cells ratio across the trail."""
         total = delivered = 0
@@ -110,16 +117,19 @@ class AuditLog:
         lines = []
         for entry in self._records:
             stats = entry.stats
+            cached = " [cached]" if entry.cache_hit else ""
             lines.append(
                 f"#{entry.sequence} {entry.user}: {entry.outcome} "
                 f"({stats.delivered_cells}/{stats.total_cells} cells) "
                 f"via {', '.join(entry.admissible_views) or '(no views)'}"
+                f"{cached}"
             )
             lines.append(f"    {entry.statement}")
         summary = self.outcome_counts()
         lines.append(
             f"-- {len(self._records)} requests: "
             f"{summary['full']} full, {summary['partial']} partial, "
-            f"{summary['denied']} denied"
+            f"{summary['denied']} denied; "
+            f"{self.cached_count()} served from the derivation cache"
         )
         return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""The mask-derivation cache.
+
+Section 5's cost model says authorization is dominated by running the
+query plan over the meta-relations, and recommends storing derived
+artifacts "with the original view definitions, until these definitions
+are modified".  :class:`DerivationCache` extends that advice from
+self-join closures to whole :class:`~repro.metaalgebra.plan.MaskDerivation`
+results: an LRU map keyed by ``(user, canonical plan key)`` whose
+entries carry the catalog *token* they were derived under.
+
+**Transparency invariant.** A cached mask may be served only while the
+catalog state it was derived from is current *for that user*.  Tokens
+come from :meth:`repro.meta.catalog.PermissionCatalog.cache_token`:
+``(definitions_version, grants_version(user))``.  Any ``view`` /
+``drop`` bumps the definitions version (global invalidation); a
+``permit`` / ``revoke`` bumps only the affected user's grants version,
+so one user's mutation never flushes another's entries.  A stale entry
+is discarded on lookup and counted as an invalidation — a cache that
+survives a revoke would be a security hole, not a performance bug
+(cf. Guarnieri et al., "Strong and Provably Secure Database Access
+Control").  The differential and property suites in
+``tests/test_derivation_cache.py`` and
+``tests/property/test_cache_invalidation.py`` enforce the invariant.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.metaalgebra.canonical import PlanKey
+from repro.metaalgebra.plan import MaskDerivation
+
+#: Catalog state a cache entry was derived under:
+#: ``(definitions_version, grants_version(user))``.
+CacheToken = Tuple[int, int]
+
+
+@dataclass
+class CacheStats:
+    """Running counters of one cache's behaviour.
+
+    Attributes:
+        hits: lookups served from a live entry.
+        misses: lookups that found no entry (stale lookups count as
+            both an invalidation and a miss).
+        invalidations: entries discarded because their catalog token
+            went stale.
+        evictions: live entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (1.0 when nothing was looked up)."""
+        if self.lookups == 0:
+            return 1.0
+        return self.hits / self.lookups
+
+    def render(self) -> str:
+        return (
+            f"derivation cache: {self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), "
+            f"{self.invalidations} invalidations, "
+            f"{self.evictions} evictions"
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class _Entry:
+    token: CacheToken
+    derivation: MaskDerivation
+
+
+class DerivationCache:
+    """LRU cache of mask derivations with version invalidation.
+
+    Capacity 0 (or negative) disables the cache entirely: lookups
+    return ``None`` without touching the statistics, stores are
+    dropped.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, PlanKey], _Entry]" = \
+            OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, user: str, plan_key: PlanKey,
+            token: CacheToken) -> Optional[MaskDerivation]:
+        """The cached derivation, or ``None`` on miss/stale entry."""
+        if not self.enabled:
+            return None
+        key = (user, plan_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.token != token:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.derivation
+
+    def put(self, user: str, plan_key: PlanKey, token: CacheToken,
+            derivation: MaskDerivation) -> None:
+        """Store ``derivation``, evicting least-recently-used entries."""
+        if not self.enabled:
+            return
+        key = (user, plan_key)
+        self._entries[key] = _Entry(token, derivation)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def invalidate_user(self, user: str) -> None:
+        """Eagerly drop every entry of ``user`` (token comparison makes
+        this optional; provided for explicit flushes)."""
+        stale = [key for key in self._entries if key[0] == user]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def users(self) -> Tuple[str, ...]:
+        """Distinct users with live entries (diagnostics)."""
+        seen: Dict[str, None] = {}
+        for user, _ in self._entries:
+            seen.setdefault(user)
+        return tuple(seen)

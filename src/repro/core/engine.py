@@ -5,28 +5,53 @@ actual relations (yielding the answer A) and over the meta-relations
 (yielding the mask A') — applies the mask to the answer, and attaches
 the inferred permit statements.  Users direct queries at the actual
 database; views never act as access windows.
+
+Two derived artifacts are memoized, following Section 5's advice that
+derived results "should be stored with the original view definitions,
+until these definitions are modified":
+
+* per-user **self-join closures**, invalidated by the catalog's
+  per-user cache token (a grant to one user no longer flushes
+  another's closure);
+* whole **mask derivations**, in a :class:`~repro.core.cache.DerivationCache`
+  keyed by ``(user, canonical plan key)`` and guarded by the same
+  token — see ``docs/CACHING.md`` for keys, invalidation rules, and
+  the transparency guarantee.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.audit import AuditLog
 
 from repro.algebra.database import Database
+from repro.algebra.expression import PSJQuery
 from repro.algebra.optimize import evaluate_optimized
+from repro.algebra.relation import Relation
 from repro.calculus.ast import Query
 from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.answer import AuthorizedAnswer
+from repro.core.cache import CacheStats, DerivationCache
 from repro.core.mask import Mask
-from repro.core.statements import infer_permits
+from repro.core.statements import InferredPermit, infer_permits
 from repro.errors import ParseError
 from repro.extensions.closure import make_excuse
 from repro.lang.parser import parse_statement
 from repro.meta.catalog import PermissionCatalog
 from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.canonical import PlanKey, canonical_plan_key
 from repro.metaalgebra.plan import MaskDerivation, derive_mask
 from repro.metaalgebra.selfjoin import selfjoin_closure
 
@@ -46,11 +71,26 @@ class AuthorizationEngine:
         self.config = config
         #: Optional audit trail; every authorize() appends a record.
         self.audit = audit
-        # Per-user self-join closures: "once generated, they should be
+        # Per-user self-join closures, each tagged with the catalog
+        # token it was computed under: "once generated, they should be
         # stored with the original view definitions, until these
         # definitions are modified."
-        self._selfjoin_cache: Dict[str, Dict[str, Tuple[MetaTuple, ...]]] = {}
-        self._selfjoin_cache_version = -1
+        self._selfjoin_cache: Dict[
+            str, Tuple[Tuple[int, int], Dict[str, Tuple[MetaTuple, ...]]]
+        ] = {}
+        #: LRU cache of mask derivations (see repro.core.cache).
+        self._derivation_cache = DerivationCache(
+            config.derivation_cache_size
+        )
+        # Compiled plans and canonical keys are pure functions of the
+        # (immutable) schema, so they are memoized unconditionally;
+        # repeated statements skip the compiler entirely.
+        self._plan_cache: "OrderedDict[Query, PSJQuery]" = OrderedDict()
+        self._plan_key_cache: "OrderedDict[PSJQuery, PlanKey]" = \
+            OrderedDict()
+        self._plan_cache_capacity = max(
+            512, 4 * max(config.derivation_cache_size, 0)
+        )
 
     # ------------------------------------------------------------------
     # convenience pass-throughs
@@ -68,6 +108,10 @@ class AuthorizationEngine:
         """Withdraw a grant."""
         self.catalog.revoke(view_name, user)
 
+    def stats(self) -> CacheStats:
+        """Running statistics of the derivation cache."""
+        return self._derivation_cache.stats
+
     # ------------------------------------------------------------------
     # the authorization process (Section 5)
     # ------------------------------------------------------------------
@@ -75,45 +119,163 @@ class AuthorizationEngine:
     def authorize(self, user: str,
                   query: Union[Query, str]) -> AuthorizedAnswer:
         """Answer ``query`` for ``user``, masked to their permissions."""
+        query = self._parse_query(query, "authorize")
+        plan = self._compile(query)
+        answer = evaluate_optimized(plan, self.database)
+        derivation, hit = self._derive_plan(user, plan)
+        authorized = self._assemble(user, query, plan, answer,
+                                    derivation, hit)
+        if self.audit is not None:
+            self.audit.record(authorized)
+        return authorized
+
+    def authorize_batch(
+        self, user: str, queries: Iterable[Union[Query, str]]
+    ) -> Tuple[AuthorizedAnswer, ...]:
+        """Authorize many queries for one user, sharing derived work.
+
+        Statements are parsed once per distinct text, compiled once per
+        distinct query, and the mask derivation, answer evaluation,
+        masking, and permit inference run once per distinct *canonical
+        plan* — repeated or plan-equivalent requests reuse the batch's
+        own memo (and the engine's derivation cache when enabled).  The
+        result is element-wise equal to looping ``authorize`` over
+        ``queries``; ``tests/test_derivation_cache.py`` enforces that
+        equality.
+        """
+        parsed: Dict[str, Query] = {}
+        plans: Dict[Query, PSJQuery] = {}
+        computed: Dict[PlanKey, Tuple[
+            Relation, MaskDerivation, Mask, Tuple[Tuple, ...],
+            Tuple[InferredPermit, ...],
+        ]] = {}
+
+        answers: List[AuthorizedAnswer] = []
+        for item in queries:
+            if isinstance(item, str):
+                query = parsed.get(item)
+                if query is None:
+                    query = self._parse_query(item, "authorize_batch")
+                    parsed[item] = query
+            else:
+                query = item
+            plan = plans.get(query)
+            if plan is None:
+                plan = self._compile(query)
+                plans[query] = plan
+
+            key = self._plan_key(plan)
+            memo = computed.get(key)
+            if memo is None:
+                answer = evaluate_optimized(plan, self.database)
+                derivation, hit = self._derive_plan(user, plan)
+                authorized = self._assemble(user, query, plan, answer,
+                                            derivation, hit)
+                computed[key] = (
+                    answer, derivation, authorized.mask,
+                    authorized.delivered, authorized.permits,
+                )
+            else:
+                answer, derivation, mask, delivered, permits = memo
+                authorized = AuthorizedAnswer(
+                    user=user,
+                    query=query,
+                    plan=plan,
+                    answer=answer,
+                    mask=mask,
+                    delivered=delivered,
+                    permits=permits,
+                    derivation=derivation,
+                    cache_hit=True,
+                )
+            if self.audit is not None:
+                self.audit.record(authorized)
+            answers.append(authorized)
+        return tuple(answers)
+
+    def derive(self, user: str,
+               query: Union[Query, str]) -> MaskDerivation:
+        """Derive the mask only (no data touched) — with full trace."""
+        query = self._parse_query(query, "derive")
+        plan = self._compile(query)
+        derivation, _ = self._derive_plan(user, plan)
+        return derivation
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_query(query: Union[Query, str], who: str) -> Query:
         if isinstance(query, str):
             parsed = parse_statement(query)
             if not isinstance(parsed, Query):
-                raise ParseError("authorize expects a retrieve statement")
-            query = parsed
+                raise ParseError(f"{who} expects a retrieve statement")
+            return parsed
+        return query
 
+    def _compile(self, query: Query) -> PSJQuery:
+        """Compile ``query`` with LRU memoization (the schema is
+        immutable for the engine's lifetime, so plans never go stale)."""
+        plan = self._plan_cache.get(query)
+        if plan is not None:
+            self._plan_cache.move_to_end(query)
+            return plan
         plan = compile_query(query, self.database.schema)
-        answer = evaluate_optimized(plan, self.database)
-        derivation = self.derive(user, query)
+        self._plan_cache[query] = plan
+        while len(self._plan_cache) > self._plan_cache_capacity:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def _plan_key(self, plan: PSJQuery) -> PlanKey:
+        """Canonical key of ``plan``, LRU-memoized like the plans."""
+        key = self._plan_key_cache.get(plan)
+        if key is not None:
+            self._plan_key_cache.move_to_end(plan)
+            return key
+        key = canonical_plan_key(plan, self.database.schema)
+        self._plan_key_cache[plan] = key
+        while len(self._plan_key_cache) > self._plan_cache_capacity:
+            self._plan_key_cache.popitem(last=False)
+        return key
+
+    def _assemble(self, user: str, query: Query, plan: PSJQuery,
+                  answer: Relation, derivation: MaskDerivation,
+                  hit: bool) -> AuthorizedAnswer:
         assert derivation.mask is not None
         mask = Mask.from_table(derivation.mask)
         delivered = mask.apply(
             answer, drop_fully_masked=self.config.drop_fully_masked_rows
         )
-        permits = infer_permits(mask)
-        authorized = AuthorizedAnswer(
+        return AuthorizedAnswer(
             user=user,
             query=query,
             plan=plan,
             answer=answer,
             mask=mask,
             delivered=delivered,
-            permits=permits,
+            permits=infer_permits(mask),
             derivation=derivation,
+            cache_hit=hit,
         )
-        if self.audit is not None:
-            self.audit.record(authorized)
-        return authorized
 
-    def derive(self, user: str,
-               query: Union[Query, str]) -> MaskDerivation:
-        """Derive the mask only (no data touched) — with full trace."""
-        if isinstance(query, str):
-            parsed = parse_statement(query)
-            if not isinstance(parsed, Query):
-                raise ParseError("derive expects a retrieve statement")
-            query = parsed
-        plan = compile_query(query, self.database.schema)
+    def _derive_plan(self, user: str,
+                     plan: PSJQuery) -> Tuple[MaskDerivation, bool]:
+        """Cached mask derivation; the bool reports a cache hit."""
+        cache = self._derivation_cache
+        if not cache.enabled:
+            return self._derive_uncached(user, plan), False
+        key = self._plan_key(plan)
+        token = self.catalog.cache_token(user)
+        cached = cache.get(user, key, token)
+        if cached is not None:
+            return cached, True
+        derivation = self._derive_uncached(user, plan)
+        cache.put(user, key, token, derivation)
+        return derivation, False
 
+    def _derive_uncached(self, user: str,
+                         plan: PSJQuery) -> MaskDerivation:
         excuse = None
         if self.config.existential_closure:
             admissible = self.catalog.admissible_views(
@@ -122,7 +284,6 @@ class AuthorizationEngine:
             excuse = make_excuse(
                 self.catalog, admissible, plan, self.database.schema
             )
-
         return derive_mask(
             plan,
             self.database.schema,
@@ -142,12 +303,10 @@ class AuthorizationEngine:
     ) -> Optional[Dict[str, Tuple[MetaTuple, ...]]]:
         if not self.config.self_joins:
             return None
-        if self._selfjoin_cache_version != self.catalog.version:
-            self._selfjoin_cache.clear()
-            self._selfjoin_cache_version = self.catalog.version
+        token = self.catalog.cache_token(user)
         cached = self._selfjoin_cache.get(user)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == token:
+            return cached[1]
 
         pool: Dict[str, Tuple[MetaTuple, ...]] = {}
         permitted = self.catalog.views_of(user)
@@ -162,5 +321,5 @@ class AuthorizationEngine:
                 self.config.max_selfjoin_rounds,
                 self.config.max_selfjoin_tuples,
             )
-        self._selfjoin_cache[user] = pool
+        self._selfjoin_cache[user] = (token, pool)
         return pool

@@ -35,9 +35,17 @@ class PermissionCatalog:
         self._views: Dict[str, EncodedView] = {}
         self._grants: Dict[str, List[str]] = {}  # user -> view names, in grant order
         self._var_counter = 0
-        #: Monotonic version, bumped on every mutation; the engine uses
-        #: it to invalidate per-user self-join caches.
+        #: Monotonic version, bumped on every mutation (kept for
+        #: backward compatibility and coarse observers).
         self.version = 0
+        #: Bumped only when the view definitions change (``view`` /
+        #: ``drop``).  Definition changes invalidate every user's
+        #: cached derivations and self-join closures.
+        self.definitions_version = 0
+        #: Per-user grant counters: a ``permit``/``revoke`` bumps only
+        #: the affected user, so caches scoped by
+        #: :meth:`cache_token` survive other users' mutations.
+        self._grant_versions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # view definition
@@ -63,6 +71,7 @@ class PermissionCatalog:
         encoded = encode_view(view, self.schema, self._fresh_var)
         self._views[view.name] = encoded
         self.version += 1
+        self.definitions_version += 1
         return encoded
 
     def drop_view(self, name: str) -> None:
@@ -71,10 +80,13 @@ class PermissionCatalog:
             raise UnknownViewError(name)
         del self._views[name]
         for user in list(self._grants):
+            if name in self._grants[user]:
+                self._bump_grants(user)
             self._grants[user] = [v for v in self._grants[user] if v != name]
             if not self._grants[user]:
                 del self._grants[user]
         self.version += 1
+        self.definitions_version += 1
 
     def view(self, name: str) -> EncodedView:
         try:
@@ -100,6 +112,7 @@ class PermissionCatalog:
         if view_name not in granted:
             granted.append(view_name)
             self.version += 1
+            self._bump_grants(user)
 
     def revoke(self, view_name: str, user: str) -> None:
         """Withdraw a grant (no-op when absent)."""
@@ -109,10 +122,29 @@ class PermissionCatalog:
             if not granted:
                 del self._grants[user]
             self.version += 1
+            self._bump_grants(user)
 
     def views_of(self, user: str) -> Tuple[str, ...]:
         """Views granted to ``user``, in grant order."""
         return tuple(self._grants.get(user, ()))
+
+    def _bump_grants(self, user: str) -> None:
+        self._grant_versions[user] = self._grant_versions.get(user, 0) + 1
+
+    def grants_version(self, user: str) -> int:
+        """Monotonic counter of ``user``'s grant mutations."""
+        return self._grant_versions.get(user, 0)
+
+    def cache_token(self, user: str) -> Tuple[int, int]:
+        """The catalog state relevant to ``user``'s cached derivations.
+
+        ``(definitions_version, grants_version(user))`` — view
+        definition changes invalidate globally, grant changes only for
+        the user they touch.  Engines compare this token to decide
+        whether a cached self-join closure or mask derivation may be
+        served (see :mod:`repro.core.cache`).
+        """
+        return (self.definitions_version, self.grants_version(user))
 
     def users(self) -> Tuple[str, ...]:
         return tuple(self._grants)

@@ -1,0 +1,145 @@
+"""Canonical keys for PSJ plans.
+
+The derivation cache (:mod:`repro.core.cache`) must recognise that two
+syntactically different retrieve statements describe the same plan —
+otherwise every paraphrase of a hot query pays the full meta-algebra
+cost.  :func:`canonical_plan_key` maps a :class:`PSJQuery` to a
+hashable key with two guarantees:
+
+* **stability** — the key is invariant under reordering of the
+  selection conjuncts, under flipping individual comparisons
+  (``a < b`` vs ``b > a``), and under renumbering the occurrences of a
+  relation (``EMPLOYEE:1`` joined to ``EMPLOYEE:2`` keys the same as
+  the query written with the occurrences swapped);
+* **injectivity up to equivalence** — the key is a complete positional
+  encoding of the plan (occurrence multiset, condition multiset, and
+  the projection list *in output order*), so two plans with the same
+  key are isomorphic up to an occurrence renaming and therefore
+  deliver the same answer and the same mask.
+
+Keys are plain nested tuples of strings and ints, cheap to compute and
+to hash; they deliberately do **not** fold in the user or the catalog
+version — the cache composes those separately.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algebra.expression import Col, Const, Operand, PSJQuery
+from repro.algebra.schema import DatabaseSchema
+
+#: Give up on occurrence renumbering when a plan has more than this
+#: many candidate assignments (k! per relation with k occurrences).
+#: Falling back to the written numbering is always *safe* — it can only
+#: cost cache sharing, never correctness — and real plans sit far
+#: below the cap.
+PERMUTATION_CAP = 120
+
+#: A hashable canonical key (opaque to callers).
+PlanKey = Tuple
+
+
+def canonical_plan_key(plan: PSJQuery, schema: DatabaseSchema) -> PlanKey:
+    """The canonical key of ``plan`` over ``schema``.
+
+    The key is the lexicographically least encoding of the plan over
+    all renumberings of same-relation occurrences; see the module
+    docstring for the guarantees.
+    """
+    # Column index -> (relation, occurrence slot) in product order.
+    owners: List[int] = []        # column -> occurrence position
+    relations: List[str] = []     # occurrence position -> relation name
+    for position, occ in enumerate(plan.occurrences):
+        relations.append(occ.relation)
+        owners.extend([position] * schema.get(occ.relation).arity)
+    offsets = plan.offsets(schema)
+
+    counts: Dict[str, int] = {}
+    for name in relations:
+        counts[name] = counts.get(name, 0) + 1
+    occurrence_part = tuple(sorted(counts.items()))
+
+    best: Tuple = ()
+    for ordinals in _candidate_numberings(relations):
+
+        def encode_operand(operand: Operand) -> Tuple:
+            if isinstance(operand, Col):
+                position = owners[operand.index]
+                return (
+                    "col",
+                    relations[position],
+                    ordinals[position],
+                    operand.index - offsets[position],
+                )
+            assert isinstance(operand, Const)
+            return ("const", type(operand.value).__name__,
+                    repr(operand.value))
+
+        conditions = tuple(sorted(
+            _encode_condition(condition, encode_operand)
+            for condition in plan.conditions
+        ))
+        output = tuple(encode_operand(Col(i)) for i in plan.output)
+        candidate = (conditions, output)
+        if not best or candidate < best:
+            best = candidate
+
+    return ("psj", occurrence_part) + best
+
+
+def _encode_condition(condition, encode_operand) -> Tuple:
+    """Orientation-normalized encoding of one conjunct."""
+    forward = (encode_operand(condition.lhs), condition.op.value,
+               encode_operand(condition.rhs))
+    backward = (encode_operand(condition.rhs),
+                condition.op.flipped().value,
+                encode_operand(condition.lhs))
+    return min(forward, backward)
+
+
+def _candidate_numberings(relations: Sequence[str]
+                          ) -> List[Tuple[int, ...]]:
+    """Every renumbering of same-relation occurrence slots.
+
+    Returns tuples mapping occurrence position -> ordinal within its
+    relation.  Relations occurring once always get ordinal 0; a
+    relation with k occurrences contributes the k! assignments of
+    ordinals 0..k-1 to its slots.
+    """
+    slots: Dict[str, List[int]] = {}
+    for position, name in enumerate(relations):
+        slots.setdefault(name, []).append(position)
+
+    total = 1
+    for positions in slots.values():
+        for i in range(2, len(positions) + 1):
+            total *= i
+        if total > PERMUTATION_CAP:
+            return [_identity_numbering(relations)]
+
+    per_relation: List[List[Tuple[Tuple[int, int], ...]]] = []
+    for positions in slots.values():
+        options = []
+        for perm in permutations(range(len(positions))):
+            options.append(tuple(zip(positions, perm)))
+        per_relation.append(options)
+
+    numberings: List[Tuple[int, ...]] = []
+    for combo in product(*per_relation):
+        ordinals = [0] * len(relations)
+        for assignment in combo:
+            for position, ordinal in assignment:
+                ordinals[position] = ordinal
+        numberings.append(tuple(ordinals))
+    return numberings or [_identity_numbering(relations)]
+
+
+def _identity_numbering(relations: Sequence[str]) -> Tuple[int, ...]:
+    seen: Dict[str, int] = {}
+    ordinals = []
+    for name in relations:
+        ordinals.append(seen.get(name, 0))
+        seen[name] = ordinals[-1] + 1
+    return tuple(ordinals)

@@ -227,6 +227,35 @@ class WorkloadGenerator:
         return ViewDefinition(name, tuple(target), tuple(conditions))
 
     # ------------------------------------------------------------------
+    # query streams
+    # ------------------------------------------------------------------
+
+    def zipf_query_stream(
+        self,
+        spec: WorkloadSpec,
+        db_schema: DatabaseSchema,
+        distinct: int = 8,
+        length: int = 100,
+        skew: float = 1.2,
+    ) -> List[Query]:
+        """A Zipf-skewed stream over a pool of ``distinct`` queries.
+
+        Real query traffic is heavily repetitive: a few hot statements
+        dominate.  The stream samples query *rank* r with probability
+        proportional to ``1 / (r+1)**skew`` — ``skew=0`` is uniform,
+        larger values concentrate the mass on the head.  This is the
+        workload the derivation cache is built for; see
+        ``benchmarks/bench_cache.py``.
+        """
+        pool = [self.query(spec, db_schema) for _ in range(distinct)]
+        weights = [1.0 / (rank + 1) ** skew for rank in range(distinct)]
+        return [
+            pool[i] for i in self.rng.choices(
+                range(distinct), weights=weights, k=length
+            )
+        ]
+
+    # ------------------------------------------------------------------
     # full workloads
     # ------------------------------------------------------------------
 

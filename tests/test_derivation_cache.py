@@ -1,0 +1,269 @@
+"""Differential tests: the derivation cache is transparent.
+
+For every workload scenario, every user, and a battery of retrieve
+statements, ``authorize()`` with the cache on and with the cache off
+must produce identical delivered relations and inferred permits — the
+cache may change *when* a mask is computed, never *what* is delivered.
+``authorize_batch`` must equal a loop of ``authorize``.  The suite
+also pins the cache mechanics: hit/miss/invalidation/eviction
+accounting, user isolation, and the per-user scoping of the self-join
+closure cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.cache import DerivationCache
+from repro.core.engine import AuthorizationEngine
+from repro.workloads.scenarios import corporate_scenario, hospital_scenario
+
+CACHE_OFF = DEFAULT_CONFIG.but(derivation_cache_size=0)
+
+#: Statement batteries per scenario: a mix of full-view matches,
+#: partial overlaps, joins, paraphrases, and denials.
+HOSPITAL_QUERIES = [
+    "retrieve (PATIENT.PID, PATIENT.NAME, PATIENT.WARD)",
+    "retrieve (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, "
+    "PATIENT.DIAGNOSIS)",
+    "retrieve (TREATMENT.PID, TREATMENT.DRUG, TREATMENT.COST)",
+    "retrieve (TREATMENT.PID, TREATMENT.COST) "
+    "where TREATMENT.COST >= 1000",
+    # Paraphrase of the previous statement (flipped comparison).
+    "retrieve (TREATMENT.PID, TREATMENT.COST) "
+    "where 1000 <= TREATMENT.COST",
+    "retrieve (PATIENT.NAME, TREATMENT.DRUG) "
+    "where PATIENT.PID = TREATMENT.PID",
+    "retrieve (PATIENT.NAME, TREATMENT.DRUG, TREATMENT.COST) "
+    "where PATIENT.PID = TREATMENT.PID and TREATMENT.DOC = house",
+    "retrieve (PHYSICIAN.DOC, PHYSICIAN.SPECIALTY)",
+]
+
+CORPORATE_QUERIES = [
+    "retrieve (EMP.ENO, EMP.ENAME, EMP.DEPT)",
+    "retrieve (EMP.ENO, EMP.ENAME, EMP.DEPT, EMP.SALARY)",
+    "retrieve (EMP.ENO, EMP.SALARY) where EMP.SALARY <= 100,000",
+    "retrieve (EMP.ENO, EMP.SALARY) where EMP.DEPT = eng",
+    # Conjunct reordering of the cap + department query.
+    "retrieve (EMP.ENO, EMP.SALARY) "
+    "where EMP.SALARY <= 100,000 and EMP.DEPT = eng",
+    "retrieve (EMP.ENO, EMP.SALARY) "
+    "where EMP.DEPT = eng and EMP.SALARY <= 100,000",
+    "retrieve (DEPT.DNAME, DEPT.BUDGET)",
+    "retrieve (EMP.ENAME, DEPT.BUDGET) where EMP.DEPT = DEPT.DNAME",
+]
+
+SCENARIOS = [
+    pytest.param(hospital_scenario, HOSPITAL_QUERIES, id="hospital"),
+    pytest.param(corporate_scenario, CORPORATE_QUERIES, id="corporate"),
+]
+
+
+def observable(answer):
+    """Everything a client can see of one authorization."""
+    return (
+        answer.labels,
+        answer.delivered,
+        tuple(str(p) for p in answer.permits),
+    )
+
+
+@pytest.mark.parametrize("build, queries", SCENARIOS)
+class TestCacheTransparency:
+    def test_cache_on_equals_cache_off(self, build, queries):
+        hot = build()
+        cold = build(CACHE_OFF)
+        for user in hot.users:
+            for statement in queries:
+                # Twice per statement: the second pass is served from
+                # the cache on the hot engine.
+                for _ in range(2):
+                    a = hot.engine.authorize(user, statement)
+                    b = cold.engine.authorize(user, statement)
+                    assert observable(a) == observable(b), (
+                        f"user={user} query={statement}"
+                    )
+        stats = hot.engine.stats()
+        assert stats.hits > 0
+        assert cold.engine.stats().lookups == 0
+
+    def test_batch_equals_loop(self, build, queries):
+        for config in (DEFAULT_CONFIG, CACHE_OFF):
+            batch_side = build(config)
+            loop_side = build(config)
+            for user in batch_side.users:
+                stream = list(queries) + list(queries)  # repetition
+                batch = batch_side.engine.authorize_batch(user, stream)
+                loop = [
+                    loop_side.engine.authorize(user, statement)
+                    for statement in stream
+                ]
+                assert len(batch) == len(loop)
+                for a, b in zip(batch, loop):
+                    assert observable(a) == observable(b)
+
+    def test_revoke_is_visible_immediately(self, build, queries):
+        hot = build()
+        for user in hot.users:
+            for statement in queries:
+                hot.engine.authorize(user, statement)  # populate cache
+        catalog = hot.engine.catalog
+        user = hot.users[0]
+        for view_name in catalog.views_of(user):
+            catalog.revoke(view_name, user)
+        fresh = build(CACHE_OFF)
+        fresh_catalog = fresh.engine.catalog
+        for view_name in fresh_catalog.views_of(user):
+            fresh_catalog.revoke(view_name, user)
+        for statement in queries:
+            a = hot.engine.authorize(user, statement)
+            b = fresh.engine.authorize(user, statement)
+            assert not a.cache_hit or a.delivered == b.delivered
+            assert observable(a) == observable(b)
+
+
+class TestCacheMechanics:
+    def test_repeat_hits_and_stats(self):
+        engine = hospital_scenario().engine
+        statement = HOSPITAL_QUERIES[0]
+        first = engine.authorize("nurse", statement)
+        second = engine.authorize("nurse", statement)
+        assert not first.cache_hit
+        assert second.cache_hit
+        stats = engine.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_equivalent_plans_share_an_entry(self):
+        engine = corporate_scenario().engine
+        engine.authorize("engmgr", CORPORATE_QUERIES[4])
+        reordered = engine.authorize("engmgr", CORPORATE_QUERIES[5])
+        assert reordered.cache_hit
+
+    def test_users_never_share_entries(self):
+        engine = corporate_scenario().engine
+        statement = "retrieve (EMP.ENO, EMP.ENAME, EMP.DEPT, EMP.SALARY)"
+        hr = engine.authorize("hr", statement)        # full salary view
+        staff = engine.authorize("staff", statement)  # directory only
+        assert not staff.cache_hit
+        assert hr.delivered != staff.delivered
+
+    def test_disabled_cache_never_hits(self):
+        scenario = hospital_scenario(CACHE_OFF)
+        engine = scenario.engine
+        for _ in range(3):
+            answer = engine.authorize("nurse", HOSPITAL_QUERIES[0])
+            assert not answer.cache_hit
+        assert engine.stats().lookups == 0
+
+    def test_lru_eviction(self):
+        scenario = hospital_scenario(
+            DEFAULT_CONFIG.but(derivation_cache_size=1)
+        )
+        engine = scenario.engine
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        engine.authorize("nurse", HOSPITAL_QUERIES[1])  # evicts the first
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])  # miss again
+        stats = engine.stats()
+        assert stats.evictions >= 1
+        assert stats.hits == 0
+
+    def test_invalidation_counted_on_grant_change(self):
+        engine = hospital_scenario().engine
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        engine.revoke("NURSE_VIEW", "nurse")
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        assert engine.stats().invalidations == 1
+
+    def test_grant_to_other_user_keeps_entries_live(self):
+        engine = hospital_scenario().engine
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        engine.permit("BILLING", "research")  # unrelated user
+        answer = engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        assert answer.cache_hit
+        assert engine.stats().invalidations == 0
+
+    def test_view_definition_invalidates_globally(self):
+        engine = hospital_scenario().engine
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        engine.define_view("view SCRATCH (PATIENT.PID, PATIENT.NAME)")
+        answer = engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        assert not answer.cache_hit
+        assert engine.stats().invalidations == 1
+
+    def test_audit_records_cache_hits(self):
+        from repro.core.audit import AuditLog
+
+        scenario = hospital_scenario()
+        engine = scenario.engine
+        engine.audit = AuditLog()
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        engine.authorize("nurse", HOSPITAL_QUERIES[0])
+        records = engine.audit.records()
+        assert [r.cache_hit for r in records] == [False, True]
+        assert engine.audit.cached_count() == 1
+        assert "[cached]" in engine.audit.report()
+        assert "1 served from the derivation cache" in engine.audit.report()
+
+    def test_cli_stats_command(self):
+        from repro.cli import Repl
+        from repro.workloads.scenarios import hospital_scenario as build
+
+        repl = Repl(build().engine, user="nurse")
+        repl.process_line(HOSPITAL_QUERIES[0])
+        repl.process_line(HOSPITAL_QUERIES[0])
+        output = repl.process_line(".stats")
+        assert "1 hits" in output
+
+        off = Repl(build(CACHE_OFF).engine, user="nurse")
+        assert "disabled" in off.process_line(".stats")
+
+
+class TestDerivationCacheUnit:
+    def test_capacity_zero_is_inert(self):
+        cache = DerivationCache(0)
+        assert not cache.enabled
+        assert cache.get("u", ("k",), (0, 0)) is None
+        cache.put("u", ("k",), (0, 0), object())
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_token_mismatch_is_invalidation(self):
+        cache = DerivationCache(4)
+        marker = object()
+        cache.put("u", ("k",), (0, 0), marker)
+        assert cache.get("u", ("k",), (0, 0)) is marker
+        assert cache.get("u", ("k",), (0, 1)) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+    def test_keys_are_scoped_by_user(self):
+        cache = DerivationCache(4)
+        mine, yours = object(), object()
+        cache.put("alice", ("k",), (0, 0), mine)
+        cache.put("bob", ("k",), (0, 0), yours)
+        assert cache.get("alice", ("k",), (0, 0)) is mine
+        assert cache.get("bob", ("k",), (0, 0)) is yours
+        assert sorted(cache.users()) == ["alice", "bob"]
+
+    def test_lru_order(self):
+        cache = DerivationCache(2)
+        a, b, c = object(), object(), object()
+        cache.put("u", ("a",), (0, 0), a)
+        cache.put("u", ("b",), (0, 0), b)
+        cache.get("u", ("a",), (0, 0))      # refresh a
+        cache.put("u", ("c",), (0, 0), c)   # evicts b
+        assert cache.get("u", ("a",), (0, 0)) is a
+        assert cache.get("u", ("b",), (0, 0)) is None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_user_and_clear(self):
+        cache = DerivationCache(8)
+        cache.put("alice", ("k",), (0, 0), object())
+        cache.put("bob", ("k",), (0, 0), object())
+        cache.invalidate_user("alice")
+        assert cache.users() == ("bob",)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2

@@ -90,11 +90,26 @@ class TestSelfJoinCache:
     def test_cache_is_populated_and_reused(self, paper_engine):
         paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
         assert "Brown" in paper_engine._selfjoin_cache
-        pool = paper_engine._selfjoin_cache["Brown"]
+        _, pool = paper_engine._selfjoin_cache["Brown"]
         assert len(pool["EMPLOYEE"]) == 2
         # A second call reuses the same pool object.
         paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
-        assert paper_engine._selfjoin_cache["Brown"] is pool
+        assert paper_engine._selfjoin_cache["Brown"][1] is pool
+
+    def test_other_users_grants_do_not_invalidate(self, paper_engine):
+        paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
+        _, pool = paper_engine._selfjoin_cache["Brown"]
+        # A grant mutation for a *different* user must not flush
+        # Brown's closure (regression: the cache used to be cleared
+        # globally on any catalog version bump).
+        paper_engine.permit("PSA", "Klein")
+        paper_engine.revoke("PSA", "Klein")
+        assert paper_engine._selfjoin_pool("Brown") is pool
+        # A view definition change invalidates globally.
+        paper_engine.define_view(
+            "view SCRATCH (EMPLOYEE.NAME, EMPLOYEE.TITLE)"
+        )
+        assert paper_engine._selfjoin_pool("Brown") is not pool
 
     def test_cache_invalidated_on_grant_changes(self, paper_engine):
         paper_engine.authorize("Brown", EXAMPLE_3_QUERY)
