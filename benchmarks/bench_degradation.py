@@ -1,0 +1,86 @@
+"""Resilience overhead: budgets, the ladder rungs, and faulted paths.
+
+Measures (a) the cost of an unbudgeted derivation vs one carrying an
+ample budget — the budget bookkeeping must stay in the noise; (b) the
+per-rung derivation cost on a scaled workload — each rung down should
+be no more expensive than a direct engine configured the same way; and
+(c) the worst case, a budget so tight every rung fails and the ladder
+walks its full length.  Every round asserts the soundness invariant:
+a degraded delivery is a subset of the full-fidelity delivery.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED
+from repro.metaalgebra.ladder import EMPTY_LEVEL, rung_config
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.paperdb import (
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    build_paper_engine,
+)
+
+#: No derivation cache: every round measures the meta-algebra.
+UNCACHED = DEFAULT_CONFIG.but(derivation_cache_size=0)
+
+
+def visible_cells(answer):
+    return {
+        (i, j, cell)
+        for i, row in enumerate(answer.delivered)
+        for j, cell in enumerate(row)
+        if cell is not MASKED
+    }
+
+
+def scaled_workload(seed=7):
+    generator = WorkloadGenerator(seed)
+    spec = WorkloadSpec(seed=seed, relations=4, views=6, users=2,
+                        rows_per_relation=12)
+    workload = generator.workload(spec)
+    query = generator.query(spec, workload.database.schema)
+    return workload, query
+
+
+def test_ample_budget_overhead(benchmark):
+    """Budget checks on the hot path must cost ~nothing."""
+    engine = build_paper_engine(
+        UNCACHED.but(max_mask_rows=100_000, max_selfjoin_pool=100_000,
+                     derivation_deadline_ms=60_000.0)
+    )
+    baseline = build_paper_engine(UNCACHED).authorize(
+        "Klein", EXAMPLE_2_QUERY
+    )
+
+    answer = benchmark(engine.authorize, "Klein", EXAMPLE_2_QUERY)
+    assert answer.degradation_level == 0
+    assert visible_cells(answer) == visible_cells(baseline)
+
+
+@pytest.mark.parametrize("level", range(EMPTY_LEVEL))
+def test_rung_cost(benchmark, level):
+    """Derivation cost at each ladder rung on a scaled workload."""
+    workload, query = scaled_workload()
+    engine = AuthorizationEngine(
+        workload.database, workload.catalog,
+        rung_config(UNCACHED, level),
+    )
+    full = AuthorizationEngine(
+        workload.database, workload.catalog, UNCACHED
+    )
+    user = workload.users[0]
+    baseline = visible_cells(full.authorize(user, query))
+
+    answer = benchmark(engine.authorize, user, query)
+    assert visible_cells(answer) <= baseline
+
+
+def test_full_ladder_walk(benchmark):
+    """The worst case: every rung times out, the ladder walks to empty."""
+    engine = build_paper_engine(UNCACHED.but(max_mask_rows=1))
+
+    answer = benchmark(engine.authorize, "Brown", EXAMPLE_3_QUERY)
+    assert answer.degradation == "empty"
+    assert visible_cells(answer) == set()

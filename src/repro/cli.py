@@ -73,6 +73,18 @@ class Repl:
         except ReproError as error:
             return f"error: {error}"
         output = result.message
+        if result.answer is not None:
+            answer = result.answer
+            if answer.error is not None:
+                output += (
+                    f"\n-- fail-closed: nothing delivered"
+                    f" ({answer.error})"
+                )
+            elif answer.degraded:
+                output += (
+                    f"\n-- degraded derivation: {answer.degradation}"
+                    f" (level {answer.degradation_level})"
+                )
         if self.trace and result.answer is not None:
             derivation = result.answer.derivation
             assert derivation.mask is not None
@@ -219,7 +231,18 @@ def main(argv: Optional[list] = None) -> int:
         "--snapshot", metavar="FILE",
         help="load a saved database + permissions instead of --db",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC",
+        help="install a fault-injection plan, e.g. "
+             "'product:raise,cache.get:raise:2' (testing; see "
+             "repro.testing.faults)",
+    )
     options = parser.parse_args(argv)
+
+    if options.faults:
+        from repro.testing.faults import install, plan_from_spec
+
+        install(plan_from_spec(options.faults))
 
     if options.snapshot:
         from repro import storage

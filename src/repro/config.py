@@ -67,6 +67,31 @@ class EngineConfig:
             ``docs/CACHING.md``).  0 disables caching; the delivered
             answers are identical either way (the transparency
             guarantee enforced by ``tests/test_derivation_cache.py``).
+        max_mask_rows: budget — cap on meta-tuples materialized by any
+            single meta-algebra operator node during one derivation
+            (0 = unlimited).  Exceeding it triggers the degradation
+            ladder, not a failure (see ``docs/RESILIENCE.md``).
+        max_selfjoin_pool: budget — cap on the per-relation self-join
+            pool (original meta-tuples plus closure) a derivation will
+            consume (0 = unlimited).  Distinct from
+            ``max_selfjoin_tuples``, which soft-truncates *generation*;
+            this limit makes an oversized pool degrade to the
+            no-self-join rung instead.
+        derivation_deadline_ms: budget — wall-time limit per derivation
+            attempt (0 = no deadline).  Each ladder rung gets a fresh
+            deadline, so the worst case is ``rungs * deadline``.
+        degradation_ladder: on budget exhaustion or internal failure,
+            re-derive at progressively cheaper rungs (full refinements
+            → no self-joins → no padding → base model → empty mask)
+            instead of failing; each rung provably delivers a subset of
+            the rung above.  When False, a budgeted derivation that
+            exhausts its budget goes straight to the empty mask (or
+            raises, in dev mode).
+        fail_closed: catch any internal error past parsing/validation
+            inside ``authorize``/``authorize_batch`` and return the
+            empty-mask answer (with ``AuthorizedAnswer.error`` set)
+            instead of propagating.  Set to False in development to get
+            the original traceback.
     """
 
     refine_selection: bool = True
@@ -80,6 +105,11 @@ class EngineConfig:
     max_selfjoin_rounds: int = 4
     max_selfjoin_tuples: int = 64
     derivation_cache_size: int = 128
+    max_mask_rows: int = 0
+    max_selfjoin_pool: int = 0
+    derivation_deadline_ms: float = 0.0
+    degradation_ladder: bool = True
+    fail_closed: bool = True
 
     def but(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -10,13 +10,14 @@ answer, the mask, the derivation trace, and delivery statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.algebra.expression import PSJQuery
 from repro.algebra.relation import Relation
 from repro.calculus.ast import Query
 from repro.core.mask import MASKED, Mask
 from repro.core.statements import InferredPermit
+from repro.metaalgebra.ladder import DEGRADATION_LEVELS
 from repro.metaalgebra.plan import MaskDerivation
 
 
@@ -53,6 +54,23 @@ class AuthorizedAnswer:
     #: Whether the mask derivation was served from the engine's
     #: derivation cache (the answer itself is always evaluated fresh).
     cache_hit: bool = False
+    #: Ladder rung the mask was derived at (0 = full fidelity; see
+    #: ``repro.metaalgebra.ladder``).  Under overload the mask shrinks,
+    #: never grows, so a degraded answer is still sound.
+    degradation_level: int = 0
+    #: Diagnostic behind a fail-closed denial; ``None`` when the
+    #: request was processed normally.
+    error: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the mask was derived below full fidelity."""
+        return self.degradation_level > 0
+
+    @property
+    def degradation(self) -> str:
+        """Human-readable rung name (``"full"`` … ``"empty"``)."""
+        return DEGRADATION_LEVELS[self.degradation_level]
 
     @property
     def labels(self) -> Tuple[str, ...]:

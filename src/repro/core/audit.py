@@ -31,6 +31,11 @@ class AuditRecord:
     permit_statements: Tuple[str, ...]
     #: Whether the mask derivation came from the derivation cache.
     cache_hit: bool = False
+    #: Ladder rung the mask was derived at (0 = full fidelity) — so
+    #: operators can see overload-induced degradation in the trail.
+    degradation_level: int = 0
+    #: Failure behind a fail-closed denial, when there was one.
+    error: Optional[str] = None
 
     @property
     def outcome(self) -> str:
@@ -64,6 +69,8 @@ class AuditLog:
             stats=answer.stats(),
             permit_statements=tuple(str(p) for p in answer.permits),
             cache_hit=answer.cache_hit,
+            degradation_level=answer.degradation_level,
+            error=answer.error,
         )
         self._records.append(entry)
         if self.capacity is not None and len(self._records) > self.capacity:
@@ -96,6 +103,12 @@ class AuditLog:
         """How many recorded derivations were served from the cache."""
         return sum(1 for r in self.records(user) if r.cache_hit)
 
+    def degraded_count(self, user: Optional[str] = None) -> int:
+        """How many recorded derivations ran below full fidelity."""
+        return sum(
+            1 for r in self.records(user) if r.degradation_level > 0
+        )
+
     def delivered_fraction(self, user: Optional[str] = None) -> float:
         """Overall delivered-cells ratio across the trail."""
         total = delivered = 0
@@ -118,11 +131,16 @@ class AuditLog:
         for entry in self._records:
             stats = entry.stats
             cached = " [cached]" if entry.cache_hit else ""
+            degraded = (
+                f" [degraded:{entry.degradation_level}]"
+                if entry.degradation_level > 0 else ""
+            )
+            failed = " [fail-closed]" if entry.error is not None else ""
             lines.append(
                 f"#{entry.sequence} {entry.user}: {entry.outcome} "
                 f"({stats.delivered_cells}/{stats.total_cells} cells) "
                 f"via {', '.join(entry.admissible_views) or '(no views)'}"
-                f"{cached}"
+                f"{cached}{degraded}{failed}"
             )
             lines.append(f"    {entry.statement}")
         summary = self.outcome_counts()
@@ -130,6 +148,7 @@ class AuditLog:
             f"-- {len(self._records)} requests: "
             f"{summary['full']} full, {summary['partial']} partial, "
             f"{summary['denied']} denied; "
-            f"{self.cached_count()} served from the derivation cache"
+            f"{self.cached_count()} served from the derivation cache; "
+            f"{self.degraded_count()} degraded"
         )
         return "\n".join(lines)

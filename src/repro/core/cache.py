@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.metaalgebra.canonical import PlanKey
 from repro.metaalgebra.plan import MaskDerivation
+from repro.testing.faults import maybe_corrupt, maybe_fault
 
 #: Catalog state a cache entry was derived under:
 #: ``(definitions_version, grants_version(user))``.
@@ -114,6 +115,7 @@ class DerivationCache:
         """The cached derivation, or ``None`` on miss/stale entry."""
         if not self.enabled:
             return None
+        maybe_fault("cache.get")
         key = (user, plan_key)
         entry = self._entries.get(key)
         if entry is None:
@@ -126,13 +128,17 @@ class DerivationCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return entry.derivation
+        # The engine revalidates what comes back (see
+        # AuthorizationEngine._valid_cached): a corrupted entry is
+        # treated as a miss, never served.
+        return maybe_corrupt("cache.entry", entry.derivation)
 
     def put(self, user: str, plan_key: PlanKey, token: CacheToken,
             derivation: MaskDerivation) -> None:
         """Store ``derivation``, evicting least-recently-used entries."""
         if not self.enabled:
             return
+        maybe_fault("cache.put")
         key = (user, plan_key)
         self._entries[key] = _Entry(token, derivation)
         self._entries.move_to_end(key)

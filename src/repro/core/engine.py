@@ -52,8 +52,14 @@ from repro.lang.parser import parse_statement
 from repro.meta.catalog import PermissionCatalog
 from repro.meta.metatuple import MetaTuple
 from repro.metaalgebra.canonical import PlanKey, canonical_plan_key
-from repro.metaalgebra.plan import MaskDerivation, derive_mask
+from repro.metaalgebra.ladder import (
+    EMPTY_LEVEL,
+    derive_mask_resilient,
+    empty_derivation,
+)
+from repro.metaalgebra.plan import MaskDerivation
 from repro.metaalgebra.selfjoin import selfjoin_closure
+from repro.testing.faults import maybe_fault
 
 
 class AuthorizationEngine:
@@ -118,16 +124,36 @@ class AuthorizationEngine:
 
     def authorize(self, user: str,
                   query: Union[Query, str]) -> AuthorizedAnswer:
-        """Answer ``query`` for ``user``, masked to their permissions."""
+        """Answer ``query`` for ``user``, masked to their permissions.
+
+        **Fail-closed contract** (``config.fail_closed``, the default):
+        past parsing and plan validation — which still raise, so the
+        caller can tell a malformed request from a denial — no internal
+        failure ever propagates.  Budget exhaustion re-derives down the
+        degradation ladder (the mask shrinks, never grows); anything
+        else yields the empty-mask answer with
+        :attr:`AuthorizedAnswer.error` set.  With ``fail_closed=False``
+        (development), internal errors re-raise instead.
+        """
         query = self._parse_query(query, "authorize")
         plan = self._compile(query)
-        answer = evaluate_optimized(plan, self.database)
-        derivation, hit = self._derive_plan(user, plan)
-        authorized = self._assemble(user, query, plan, answer,
-                                    derivation, hit)
+        try:
+            authorized = self._authorize_plan(user, query, plan)
+        except Exception as error:  # the fail-closed boundary
+            if not self.config.fail_closed:
+                raise
+            authorized = self._failed_answer(user, query, plan, error)
         if self.audit is not None:
             self.audit.record(authorized)
         return authorized
+
+    def _authorize_plan(self, user: str, query: Query,
+                        plan: PSJQuery) -> AuthorizedAnswer:
+        """The unprotected authorize path (inside the boundary)."""
+        maybe_fault("engine.evaluate")
+        answer = evaluate_optimized(plan, self.database)
+        derivation, hit = self._derive_plan(user, plan)
+        return self._assemble(user, query, plan, answer, derivation, hit)
 
     def authorize_batch(
         self, user: str, queries: Iterable[Union[Query, str]]
@@ -142,12 +168,17 @@ class AuthorizationEngine:
         result is element-wise equal to looping ``authorize`` over
         ``queries``; ``tests/test_derivation_cache.py`` enforces that
         equality.
+
+        The fail-closed boundary applies per element: a failure while
+        processing one query yields an empty-mask answer for that
+        element and does not disturb its neighbours (failed elements
+        are never memoized, so a transient fault cannot replay).
         """
         parsed: Dict[str, Query] = {}
         plans: Dict[Query, PSJQuery] = {}
         computed: Dict[PlanKey, Tuple[
             Relation, MaskDerivation, Mask, Tuple[Tuple, ...],
-            Tuple[InferredPermit, ...],
+            Tuple[InferredPermit, ...], int,
         ]] = {}
 
         answers: List[AuthorizedAnswer] = []
@@ -164,30 +195,37 @@ class AuthorizationEngine:
                 plan = self._compile(query)
                 plans[query] = plan
 
-            key = self._plan_key(plan)
-            memo = computed.get(key)
-            if memo is None:
-                answer = evaluate_optimized(plan, self.database)
-                derivation, hit = self._derive_plan(user, plan)
-                authorized = self._assemble(user, query, plan, answer,
-                                            derivation, hit)
-                computed[key] = (
-                    answer, derivation, authorized.mask,
-                    authorized.delivered, authorized.permits,
-                )
-            else:
-                answer, derivation, mask, delivered, permits = memo
-                authorized = AuthorizedAnswer(
-                    user=user,
-                    query=query,
-                    plan=plan,
-                    answer=answer,
-                    mask=mask,
-                    delivered=delivered,
-                    permits=permits,
-                    derivation=derivation,
-                    cache_hit=True,
-                )
+            try:
+                key = self._plan_key(plan)
+                memo = computed.get(key)
+                if memo is None:
+                    authorized = self._authorize_plan(user, query, plan)
+                    computed[key] = (
+                        authorized.answer, authorized.derivation,
+                        authorized.mask, authorized.delivered,
+                        authorized.permits,
+                        authorized.degradation_level,
+                    )
+                else:
+                    answer, derivation, mask, delivered, permits, \
+                        level = memo
+                    authorized = AuthorizedAnswer(
+                        user=user,
+                        query=query,
+                        plan=plan,
+                        answer=answer,
+                        mask=mask,
+                        delivered=delivered,
+                        permits=permits,
+                        derivation=derivation,
+                        cache_hit=True,
+                        degradation_level=level,
+                    )
+            except Exception as error:  # the fail-closed boundary
+                if not self.config.fail_closed:
+                    raise
+                authorized = self._failed_answer(user, query, plan,
+                                                 error)
             if self.audit is not None:
                 self.audit.record(authorized)
             answers.append(authorized)
@@ -257,41 +295,121 @@ class AuthorizationEngine:
             permits=infer_permits(mask),
             derivation=derivation,
             cache_hit=hit,
+            degradation_level=derivation.degradation_level,
+            # A mask that fell all the way to empty is a fail-closed
+            # denial; partial rungs are reported via degradation_level
+            # alone.
+            error=(
+                derivation.degradation_reason
+                if derivation.degradation_level == EMPTY_LEVEL
+                else None
+            ),
+        )
+
+    def _failed_answer(self, user: str, query: Query, plan: PSJQuery,
+                       error: Exception) -> AuthorizedAnswer:
+        """The fail-closed fallback: nothing delivered, error recorded.
+
+        Built from parts that cannot themselves fail — an empty mask
+        over the plan's output columns and an empty answer relation —
+        so the boundary never recurses into another failure.
+        """
+        derivation = empty_derivation(plan, self.database.schema)
+        assert derivation.mask is not None
+        return AuthorizedAnswer(
+            user=user,
+            query=query,
+            plan=plan,
+            answer=Relation(
+                plan.output_columns(self.database.schema), (),
+                validate=False,
+            ),
+            mask=Mask.from_table(derivation.mask),
+            delivered=(),
+            permits=(),
+            derivation=derivation,
+            cache_hit=False,
+            degradation_level=EMPTY_LEVEL,
+            error=f"{type(error).__name__}: {error}",
         )
 
     def _derive_plan(self, user: str,
                      plan: PSJQuery) -> Tuple[MaskDerivation, bool]:
-        """Cached mask derivation; the bool reports a cache hit."""
+        """Cached mask derivation; the bool reports a cache hit.
+
+        The cache is treated as an untrusted accelerator: a lookup
+        failure degrades to a fresh derivation, a stored entry that is
+        no longer a well-formed derivation is discarded as a miss, and
+        a store failure loses only future hits — never the answer.
+        """
         cache = self._derivation_cache
         if not cache.enabled:
             return self._derive_uncached(user, plan), False
         key = self._plan_key(plan)
         token = self.catalog.cache_token(user)
-        cached = cache.get(user, key, token)
-        if cached is not None:
+        try:
+            cached = cache.get(user, key, token)
+        except Exception:
+            if not self.config.fail_closed:
+                raise
+            cached = None
+        if self._valid_cached(cached):
+            assert isinstance(cached, MaskDerivation)
             return cached, True
         derivation = self._derive_uncached(user, plan)
-        cache.put(user, key, token, derivation)
+        if derivation.degradation_level == 0:
+            # Degraded masks are transient by design: caching one would
+            # keep serving the shrunken mask after the overload passed.
+            try:
+                cache.put(user, key, token, derivation)
+            except Exception:
+                if not self.config.fail_closed:
+                    raise
         return derivation, False
+
+    @staticmethod
+    def _valid_cached(cached: object) -> bool:
+        """Structural validation of a cache entry before serving it."""
+        return (
+            isinstance(cached, MaskDerivation)
+            and cached.mask is not None
+        )
 
     def _derive_uncached(self, user: str,
                          plan: PSJQuery) -> MaskDerivation:
         excuse = None
         if self.config.existential_closure:
-            admissible = self.catalog.admissible_views(
-                user, plan.relation_names()
-            )
-            excuse = make_excuse(
-                self.catalog, admissible, plan, self.database.schema
-            )
-        return derive_mask(
+            try:
+                admissible = self.catalog.admissible_views(
+                    user, plan.relation_names()
+                )
+                excuse = make_excuse(
+                    self.catalog, admissible, plan, self.database.schema
+                )
+            except Exception:
+                # The excuse only ever *keeps* rows the pruning would
+                # drop, so deriving without it stays sound (the mask
+                # shrinks).  Dev mode wants the traceback instead.
+                if not self.config.fail_closed:
+                    raise
+                excuse = None
+        try:
+            selfjoin_pool = self._selfjoin_pool(user)
+        except Exception:
+            # Without the memoized pool derive_mask recomputes the
+            # closure itself; a persistent fault then degrades down
+            # the ladder to the no-self-join rung.
+            if not self.config.fail_closed:
+                raise
+            selfjoin_pool = None
+        return derive_mask_resilient(
             plan,
             self.database.schema,
             self.catalog,
             user,
             self.config,
             excuse=excuse,
-            selfjoin_pool=self._selfjoin_pool(user),
+            selfjoin_pool=selfjoin_pool,
         )
 
     # ------------------------------------------------------------------

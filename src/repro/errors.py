@@ -109,3 +109,65 @@ class GrantError(ReproError):
 
 class EvaluationError(ReproError):
     """An algebra plan could not be evaluated against an instance."""
+
+
+class BudgetExceededError(ReproError):
+    """A mask derivation overran one of its resource budgets.
+
+    Raised at operator boundaries when an intermediate mask table (or a
+    self-join pool) grows past the configured limit.  The engine never
+    surfaces this to callers: the degradation ladder catches it and
+    re-derives at a cheaper rung (see ``repro.metaalgebra.ladder``).
+    """
+
+    def __init__(self, resource: str, stage: str, observed: int,
+                 limit: int):
+        super().__init__(
+            f"{resource} budget exceeded in {stage}: "
+            f"{observed} > {limit}"
+        )
+        self.resource = resource
+        self.stage = stage
+        self.observed = observed
+        self.limit = limit
+
+
+class DerivationTimeout(ReproError):
+    """A mask derivation overran its wall-time deadline.
+
+    Like :class:`BudgetExceededError`, this is internal fuel for the
+    degradation ladder; callers of ``authorize`` only ever observe the
+    resulting ``degradation_level``.
+    """
+
+    def __init__(self, stage: str, deadline_ms: float):
+        super().__init__(
+            f"derivation deadline of {deadline_ms:g} ms overrun "
+            f"during {stage}"
+        )
+        self.stage = stage
+        self.deadline_ms = deadline_ms
+
+
+class SnapshotError(ReproError):
+    """A persisted snapshot could not be read back.
+
+    Raised for unknown format markers, invalid JSON, and structurally
+    malformed documents — ``storage.load`` validates before building
+    anything, so a corrupt snapshot never yields a half-restored
+    database.
+    """
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised by ``repro.testing.faults``.
+
+    Never raised in production: injection points are inert unless a
+    test (or the ``--faults`` CLI switch) installs a fault plan.  The
+    distinct type lets resilience tests verify that the failure they
+    observe is the one they injected.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site

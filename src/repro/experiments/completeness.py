@@ -35,6 +35,7 @@ from repro.algebra.types import INTEGER
 from repro.calculus.ast import Condition, ConstTerm, Query
 from repro.calculus.containment import is_contained_in
 from repro.core.engine import AuthorizationEngine
+from repro.errors import ReproError
 from repro.experiments.result import ExperimentResult
 from repro.experiments.tables import ascii_table
 from repro.meta.catalog import PermissionCatalog
@@ -159,7 +160,7 @@ def run() -> ExperimentResult:
         catalog = PermissionCatalog(database.schema)
         try:
             catalog.define_view(view)
-        except Exception:
+        except ReproError:
             continue
         catalog.permit(view.name, "probe")
         engine = AuthorizationEngine(database, catalog)
@@ -170,7 +171,7 @@ def run() -> ExperimentResult:
                     is_contained_in(query, view, database.schema)
                     if check else True  # pi(V) is a view of V syntactically
                 )
-            except Exception:
+            except ReproError:
                 # e.g. a narrowing that makes the probe statically
                 # empty; such probes carry no information here.
                 continue

@@ -28,6 +28,7 @@ from repro.algebra.schema import DatabaseSchema
 from repro.meta.catalog import PermissionCatalog
 from repro.meta.metatuple import MetaTuple, TupleId
 from repro.metaalgebra.prune import ExcusePredicate
+from repro.testing.faults import maybe_fault
 
 
 def make_excuse(
@@ -37,6 +38,7 @@ def make_excuse(
     schema: DatabaseSchema,
 ) -> ExcusePredicate:
     """Build the subsumption-based excuse predicate for one derivation."""
+    maybe_fault("closure")
     # Index the original meta-tuples of the admissible views by id.
     originals: Dict[TupleId, Tuple[str, MetaTuple]] = {}
     for name in admissible:

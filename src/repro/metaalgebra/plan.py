@@ -31,6 +31,7 @@ from repro.algebra.schema import DatabaseSchema
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.meta.catalog import PermissionCatalog
 from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.product import meta_product
 from repro.metaalgebra.projection import meta_project
 from repro.metaalgebra.prune import (
@@ -47,6 +48,7 @@ from repro.metaalgebra.selection import (
 )
 from repro.metaalgebra.selfjoin import selfjoin_closure
 from repro.metaalgebra.table import MaskTable
+from repro.testing.faults import maybe_fault
 
 
 @dataclass
@@ -63,6 +65,12 @@ class MaskDerivation:
     )
     projected: Optional[MaskTable] = None
     mask: Optional[MaskTable] = None
+    #: Ladder rung this derivation ran at (0 = full fidelity; see
+    #: ``repro.metaalgebra.ladder.DEGRADATION_LEVELS``).
+    degradation_level: int = 0
+    #: The failure that forced the first descent below rung 0
+    #: (``None`` at full fidelity).
+    degradation_reason: Optional[str] = None
 
 
 def derive_mask(
@@ -73,6 +81,7 @@ def derive_mask(
     config: EngineConfig = DEFAULT_CONFIG,
     excuse: Optional[ExcusePredicate] = None,
     selfjoin_pool: Optional[Dict[str, Tuple[MetaTuple, ...]]] = None,
+    budget: Optional[Budget] = None,
 ) -> MaskDerivation:
     """Derive the permission mask for ``user``'s query ``psj``.
 
@@ -81,7 +90,13 @@ def derive_mask(
             ``config.existential_closure`` is set).
         selfjoin_pool: pre-computed self-join closure per relation (the
             engine's per-user cache); computed on the fly when absent.
+        budget: optional resource budget checked at operator
+            boundaries; exhaustion raises
+            :class:`~repro.errors.BudgetExceededError` or
+            :class:`~repro.errors.DerivationTimeout` for the
+            degradation ladder to catch.
     """
+    maybe_fault("plan", budget)
     relations = sorted(psj.relation_names())
     admissible = catalog.admissible_views(user, relations)
     store = catalog.store_for(admissible)
@@ -108,8 +123,13 @@ def derive_mask(
                     schema.get(relation), originals, store,
                     config.max_selfjoin_rounds,
                     config.max_selfjoin_tuples,
+                    budget=budget,
                 )
             selfjoin_added[relation] = added
+            if budget is not None:
+                budget.charge_selfjoin(
+                    len(originals) + len(added), relation
+                )
         else:
             selfjoin_added[relation] = ()
 
@@ -121,7 +141,8 @@ def derive_mask(
     ]
 
     product = meta_product(
-        columns, operands, arities, store, padding=config.product_padding
+        columns, operands, arities, store,
+        padding=config.product_padding, budget=budget,
     )
 
     derivation = MaskDerivation(
@@ -142,14 +163,16 @@ def derive_mask(
     if config.dedupe:
         current = current.deduped()
     derivation.pruned_product = current
+    if budget is not None:
+        budget.check_deadline("prune")
 
     fresh = FreshVars()
     discrete = [c.domain.discrete for c in columns]
     for step in group_conditions(psj.conditions, discrete):
-        current = meta_select(current, step, config, fresh)
+        current = meta_select(current, step, config, fresh, budget=budget)
         derivation.after_selections.append((step, current))
 
-    current = meta_project(current, psj.output)
+    current = meta_project(current, psj.output, budget=budget)
     derivation.projected = current
 
     derivation.mask = cleanup(current)

@@ -25,8 +25,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.algebra.relation import Column
 from repro.meta.metatuple import MetaTuple, blank_tuple
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.table import MaskRow, MaskTable
 from repro.predicates.store import ConstraintStore
+from repro.testing.faults import maybe_fault
 
 
 def meta_product(
@@ -35,6 +37,7 @@ def meta_product(
     arities: Sequence[int],
     global_store: ConstraintStore,
     padding: bool = True,
+    budget: Optional[Budget] = None,
 ) -> MaskTable:
     """Compute the (optionally padded) product of meta-tuple operands.
 
@@ -47,12 +50,12 @@ def meta_product(
             from its own variables.
         padding: include blank-padded combinations (Section 4.2's first
             refinement).
-
-    Returns:
-        The deduplicated product table.  Rows that are entirely blank
-        (including the all-pads combination) are omitted — they define
-        no visible subview.
+        budget: optional resource budget, checked while the product is
+            materialized so an oversized node aborts early.
     """
+    maybe_fault("product", budget)
+    if budget is not None:
+        budget.check_deadline("product")
     choice_lists: List[List[Optional[MetaTuple]]] = []
     for tuples in operands:
         choices: List[Optional[MetaTuple]] = list(tuples)
@@ -75,6 +78,8 @@ def meta_product(
 
     rows: List[MaskRow] = []
     for combination in itertools.product(*choice_lists):
+        if budget is not None:
+            budget.tick("product")
         if all(choice is None for choice in combination):
             continue
         parts = [
@@ -88,6 +93,8 @@ def meta_product(
             continue
         rows.append(MaskRow(combined,
                             restricted_store(combined.variables())))
+        if budget is not None:
+            budget.charge_rows(len(rows), "product")
 
     # Provenance-aware dedupe: true replications collapse, but rows that
     # differ only in provenance stay distinct for the pruning stage.

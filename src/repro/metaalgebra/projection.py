@@ -15,17 +15,23 @@ final projection.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.table import MaskRow, MaskTable
+from repro.testing.faults import maybe_fault
 
 
-def meta_project(table: MaskTable, keep: Sequence[int]) -> MaskTable:
+def meta_project(table: MaskTable, keep: Sequence[int],
+                 budget: Optional[Budget] = None) -> MaskTable:
     """Project ``table`` onto the columns at ``keep`` (in that order).
 
     Equivalent to removing every other attribute one at a time with
     Definition 3; the result is independent of removal order.
     """
+    maybe_fault("projection", budget)
+    if budget is not None:
+        budget.check_deadline("projection")
     keep = tuple(keep)
     removed = [i for i in range(table.arity) if i not in set(keep)]
     columns = tuple(table.columns[i] for i in keep)

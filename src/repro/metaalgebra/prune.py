@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.meta.metatuple import MetaTuple, TupleId
 from repro.metaalgebra.table import MaskRow, MaskTable
+from repro.testing.faults import maybe_fault
 
 #: Signature of the existential-closure excuse predicate: given the
 #: row's meta-tuple and one missing defining tuple id, may the row keep
@@ -32,6 +33,7 @@ def prune_dangling(
     excuse: Optional[ExcusePredicate] = None,
 ) -> MaskTable:
     """Drop rows containing references to absent meta-tuples."""
+    maybe_fault("prune")
     rows: List[MaskRow] = []
     for row in table.rows:
         if _row_is_closed(row, defining, excuse):

@@ -39,7 +39,9 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 from repro.algebra.expression import AtomicCondition, Col, Const
 from repro.config import EngineConfig
 from repro.meta.cell import MetaCell
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.table import MaskRow, MaskTable
+from repro.testing.faults import maybe_fault
 from repro.predicates.comparators import Comparator
 from repro.predicates.implication import SelectionCase, classify
 from repro.predicates.intervals import Interval
@@ -130,15 +132,23 @@ def meta_select(
     step: SelectionStep,
     config: EngineConfig,
     fresh: Optional[Callable[[], str]] = None,
+    budget: Optional[Budget] = None,
 ) -> MaskTable:
     """Apply one selection step to every row of ``table``."""
+    maybe_fault("selection", budget)
+    if budget is not None:
+        budget.check_deadline("selection")
     fresh = fresh or FreshVars()
     selector = _Selector(table, step, config, fresh)
     rows = []
     for row in table.rows:
+        if budget is not None:
+            budget.tick("selection")
         selected = selector.select_row(row)
         if selected is not None and not selected.store.is_definitely_unsat():
             rows.append(selected)
+    if budget is not None:
+        budget.charge_rows(len(rows), "selection")
     return table.with_rows(rows)
 
 

@@ -37,7 +37,9 @@ from typing import List, Optional, Sequence, Tuple
 from repro.algebra.schema import RelationSchema
 from repro.meta.cell import MetaCell
 from repro.meta.metatuple import MetaTuple, canonical_key
+from repro.metaalgebra.budget import Budget
 from repro.predicates.store import ConstraintStore
+from repro.testing.faults import maybe_fault
 
 
 def selfjoin_closure(
@@ -46,6 +48,7 @@ def selfjoin_closure(
     store: ConstraintStore,
     max_rounds: int = 4,
     max_tuples: int = 64,
+    budget: Optional[Budget] = None,
 ) -> Tuple[MetaTuple, ...]:
     """All combined meta-tuples derivable from ``tuples`` by self-joins.
 
@@ -55,6 +58,9 @@ def selfjoin_closure(
     pairwise-joinable views, and dropping combinations is always sound
     (the mask merely authorizes less).
     """
+    maybe_fault("selfjoin", budget)
+    if budget is not None:
+        budget.check_deadline("selfjoin")
     key_positions = schema.key_indices()
     if not key_positions:
         return ()
@@ -71,6 +77,8 @@ def selfjoin_closure(
             if len(added) + len(new_tuples) >= max_tuples:
                 break
             for right in pool[i + 1:]:
+                if budget is not None:
+                    budget.tick("selfjoin")
                 combined = combine(left, right, key_positions)
                 if combined is None:
                     continue

@@ -13,19 +13,32 @@ single JSON document:
 
 ``dump``/``load`` work on file paths or file objects; ``dumps``/``loads``
 on strings.
+
+**Durability.** Writing to a path is *atomic*: the document goes to a
+temporary file in the target directory, is fsynced, and only then
+renamed over the destination (``os.replace``).  A crash mid-write — the
+kill-mid-write test in ``tests/test_storage_resilience.py`` simulates
+one with the ``storage.fsync`` fault site — leaves the previous
+snapshot intact; there is never a moment where the destination holds a
+truncated document.  Loading validates before it builds: a damaged or
+alien file raises :class:`~repro.errors.SnapshotError` rather than
+producing a half-restored catalog.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import IO, Dict, List, Tuple, Union
 
 from repro.algebra.database import Database, build_database
 from repro.algebra.schema import make_schema
 from repro.algebra.types import domain_named
-from repro.errors import ReproError
+from repro.errors import SnapshotError
 from repro.meta.catalog import PermissionCatalog
+from repro.testing.faults import maybe_fault
 
 #: Format marker; bump on incompatible layout changes.
 FORMAT = "repro-authdb-v1"
@@ -60,17 +73,51 @@ def snapshot(database: Database,
     }
 
 
+def _validate(document: object) -> Dict:
+    """Shape-check a snapshot document before rebuilding from it."""
+    if not isinstance(document, dict):
+        raise SnapshotError(
+            f"snapshot must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    if document.get("format") != FORMAT:
+        raise SnapshotError(
+            f"unsupported snapshot format {document.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    relations = document.get("relations")
+    if not isinstance(relations, list):
+        raise SnapshotError("snapshot 'relations' must be a list")
+    for record in relations:
+        if not isinstance(record, dict) or "name" not in record \
+                or "attributes" not in record:
+            raise SnapshotError(
+                "each relation record needs 'name' and 'attributes'"
+            )
+    views = document.get("views", [])
+    if not isinstance(views, list) or \
+            not all(isinstance(v, str) for v in views):
+        raise SnapshotError("snapshot 'views' must be a list of strings")
+    grants = document.get("grants", [])
+    if not isinstance(grants, list) or not all(
+        isinstance(pair, (list, tuple)) and len(pair) == 2
+        for pair in grants
+    ):
+        raise SnapshotError(
+            "snapshot 'grants' must be a list of [user, view] pairs"
+        )
+    return document
+
+
 def restore(document: Dict) -> Tuple[Database, PermissionCatalog]:
     """Rebuild a database + catalog pair from :func:`snapshot` output.
 
     Raises:
-        ReproError: for unknown formats or malformed documents.
+        SnapshotError: for unknown formats or malformed documents
+            (a subclass of :class:`~repro.errors.ReproError`, so
+            existing ``except ReproError`` handlers keep working).
     """
-    if document.get("format") != FORMAT:
-        raise ReproError(
-            f"unsupported snapshot format {document.get('format')!r}; "
-            f"expected {FORMAT!r}"
-        )
+    document = _validate(document)
     try:
         schemas = []
         instances: Dict[str, List[tuple]] = {}
@@ -92,7 +139,7 @@ def restore(document: Dict) -> Tuple[Database, PermissionCatalog]:
             catalog.permit(view, user)
         return database, catalog
     except (KeyError, TypeError) as error:
-        raise ReproError(f"malformed snapshot: {error}") from error
+        raise SnapshotError(f"malformed snapshot: {error}") from error
 
 
 def dumps(database: Database, catalog: PermissionCatalog,
@@ -102,23 +149,66 @@ def dumps(database: Database, catalog: PermissionCatalog,
 
 
 def loads(text: str) -> Tuple[Database, PermissionCatalog]:
-    """Deserialize from a JSON string."""
-    return restore(json.loads(text))
+    """Deserialize from a JSON string.
+
+    Raises:
+        SnapshotError: when ``text`` is not valid JSON or is not a
+            well-formed snapshot document.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SnapshotError(f"snapshot is not valid JSON: {error}") \
+            from error
+    return restore(document)
 
 
 def dump(database: Database, catalog: PermissionCatalog,
          target: Union[str, Path, IO[str]]) -> None:
-    """Serialize to a file path or open file object."""
+    """Serialize to a file path or open file object.
+
+    Path targets are written atomically: the text lands in a temporary
+    file in the same directory, is flushed and fsynced, and is then
+    renamed over ``target``.  An exception anywhere before the rename
+    (including a simulated crash via the ``storage.fsync`` fault site)
+    leaves any existing file at ``target`` untouched and removes the
+    temporary.  File-object targets are written directly — atomicity is
+    the caller's business there.
+    """
+    maybe_fault("storage.write")
     text = dumps(database, catalog)
     if hasattr(target, "write"):
         target.write(text)  # type: ignore[union-attr]
-    else:
-        Path(target).write_text(text, encoding="utf-8")
+        return
+    path = Path(target)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            maybe_fault("storage.fsync")
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load(source: Union[str, Path, IO[str]]
          ) -> Tuple[Database, PermissionCatalog]:
-    """Deserialize from a file path or open file object."""
+    """Deserialize from a file path or open file object.
+
+    Raises:
+        SnapshotError: for damaged or alien snapshot content.
+        OSError: when the path cannot be read at all.
+    """
+    maybe_fault("storage.read")
     if hasattr(source, "read"):
         return loads(source.read())  # type: ignore[union-attr]
     return loads(Path(source).read_text(encoding="utf-8"))

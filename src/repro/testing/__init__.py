@@ -1,0 +1,29 @@
+"""Testing support: deterministic fault injection.
+
+``repro.testing.faults`` provides the injection points the resilience
+suites use to prove the engine's fail-closed contract.  Production code
+carries the (inert) hooks; nothing here runs unless a fault plan is
+installed.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultPlan,
+    inject,
+    install,
+    maybe_corrupt,
+    maybe_fault,
+    plan_from_spec,
+    uninstall,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "inject",
+    "install",
+    "maybe_corrupt",
+    "maybe_fault",
+    "plan_from_spec",
+    "uninstall",
+]

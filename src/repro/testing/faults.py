@@ -1,0 +1,215 @@
+"""Deterministic fault injection for resilience testing.
+
+The engine's fail-closed contract — *under any internal failure the
+delivered tuple set only ever shrinks* — is only worth something if it
+can be exercised.  This module plants named injection points along the
+whole authorize path (meta-algebra operators, the derivation cache, the
+persistence layer) and lets tests trip them deterministically:
+
+    from repro.testing import faults
+
+    with faults.inject({"product": "raise"}):
+        answer = engine.authorize("brown", query)   # never raises
+    assert answer.error is not None
+
+Injection points are inert unless a plan is installed, so the
+production hot path pays one module-level ``None`` check per site.
+
+Sites currently wired (a plan may name any subset):
+
+    ``plan``          entry of ``derive_mask``
+    ``selfjoin``      the self-join closure
+    ``product``       the (padded) meta-product
+    ``prune``         dangling-reference pruning
+    ``selection``     each meta-selection step
+    ``projection``    the final meta-projection
+    ``closure``       the existential-closure excuse builder
+    ``cache.get``     derivation-cache lookup
+    ``cache.put``     derivation-cache store
+    ``cache.entry``   the cached value itself (``corrupt`` action)
+    ``engine.evaluate``  answer evaluation inside ``authorize``
+    ``storage.read``  snapshot reading
+    ``storage.write`` snapshot writing
+    ``storage.fsync`` between temp-file write and atomic rename
+
+Actions:
+
+* ``raise`` — raise :class:`~repro.errors.FaultInjected` at the site;
+* ``slow`` — simulate a slow node by charging ``seconds`` of wall time
+  against the active derivation :class:`~repro.metaalgebra.budget.Budget`
+  (no real sleeping, so tests stay fast and deterministic);
+* ``corrupt`` — substitute ``payload`` for the value flowing through a
+  ``maybe_corrupt`` site (cache corruption).
+
+Plans are installed with the :func:`inject` context manager, or
+process-wide with :func:`install` / :func:`uninstall` (the CLI's
+``--faults`` switch uses the ``site:action[:arg]`` spec syntax via
+:func:`plan_from_spec`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.errors import FaultInjected, ReproError
+
+#: Sentinel substituted by the default ``corrupt`` action.
+CORRUPTED = "#corrupted#"
+
+
+@dataclass
+class Fault:
+    """One configured failure: what to do, and how often.
+
+    Attributes:
+        action: ``"raise"``, ``"slow"``, or ``"corrupt"``.
+        times: fire at most this many visits (None = every visit).
+        seconds: simulated wall time charged by ``slow``.
+        payload: value substituted by ``corrupt``.
+    """
+
+    action: str = "raise"
+    times: Optional[int] = None
+    seconds: float = 1.0
+    payload: Any = CORRUPTED
+    fired: int = field(default=0, compare=False)
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+class FaultPlan:
+    """A set of faults keyed by site, with visit/trip accounting.
+
+    ``visits`` counts every pass through an instrumented site while the
+    plan was active; ``trips`` counts the visits where a fault actually
+    fired.  Tests assert on both to prove the failure they observed is
+    the one they injected.
+    """
+
+    def __init__(self, faults: Mapping[str, Union[Fault, str]]):
+        self.faults: Dict[str, Fault] = {
+            site: fault if isinstance(fault, Fault) else Fault(fault)
+            for site, fault in faults.items()
+        }
+        self.visits: Counter = Counter()
+        self.trips: Counter = Counter()
+
+    # -- hooks ---------------------------------------------------------
+
+    def visit(self, site: str, budget=None) -> None:
+        """Called by ``maybe_fault``; may raise or charge the budget."""
+        self.visits[site] += 1
+        fault = self.faults.get(site)
+        if fault is None or fault.exhausted():
+            return
+        if fault.action == "raise":
+            fault.fired += 1
+            self.trips[site] += 1
+            raise FaultInjected(site)
+        if fault.action == "slow":
+            if budget is not None:
+                fault.fired += 1
+                self.trips[site] += 1
+                budget.elapse(fault.seconds)
+        # "corrupt" faults only act through maybe_corrupt.
+
+    def corrupt(self, site: str, value: Any) -> Any:
+        """Called by ``maybe_corrupt``; may substitute the payload."""
+        self.visits[site] += 1
+        fault = self.faults.get(site)
+        if fault is None or fault.action != "corrupt" or fault.exhausted():
+            return value
+        fault.fired += 1
+        self.trips[site] += 1
+        return fault.payload
+
+
+#: The active plan; module-global so the hooks cost one None check.
+_PLAN: Optional[FaultPlan] = None
+
+
+def maybe_fault(site: str, budget=None) -> None:
+    """Injection point: a no-op unless a plan targets ``site``."""
+    if _PLAN is not None:
+        _PLAN.visit(site, budget)
+
+
+def maybe_corrupt(site: str, value: Any) -> Any:
+    """Value-corrupting injection point; returns ``value`` when inert."""
+    if _PLAN is not None:
+        return _PLAN.corrupt(site, value)
+    return value
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, if any (diagnostics)."""
+    return _PLAN
+
+
+def install(plan: Union[FaultPlan, Mapping[str, Union[Fault, str]]]
+            ) -> FaultPlan:
+    """Install ``plan`` process-wide (CLI/config entry point)."""
+    global _PLAN
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan(plan)
+    _PLAN = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Remove any installed plan."""
+    global _PLAN
+    _PLAN = None
+
+
+@contextmanager
+def inject(plan: Union[FaultPlan, Mapping[str, Union[Fault, str]]]
+           ) -> Iterator[FaultPlan]:
+    """Scoped installation; restores the previous plan on exit."""
+    global _PLAN
+    previous = _PLAN
+    installed = plan if isinstance(plan, FaultPlan) else FaultPlan(plan)
+    _PLAN = installed
+    try:
+        yield installed
+    finally:
+        _PLAN = previous
+
+
+def plan_from_spec(spec: str) -> FaultPlan:
+    """Parse ``site:action[:arg],...`` into a plan.
+
+    ``arg`` is ``seconds`` for ``slow`` and ``times`` for ``raise``;
+    e.g. ``"selfjoin:raise:1,product:slow:0.5"``.
+
+    Raises:
+        ReproError: for unknown actions or malformed entries.
+    """
+    faults: Dict[str, Fault] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(f"malformed fault spec entry {entry!r}")
+        site, action = parts[0], parts[1]
+        if action not in ("raise", "slow", "corrupt"):
+            raise ReproError(f"unknown fault action {action!r}")
+        fault = Fault(action)
+        if len(parts) == 3:
+            try:
+                if action == "slow":
+                    fault.seconds = float(parts[2])
+                else:
+                    fault.times = int(parts[2])
+            except ValueError as error:
+                raise ReproError(
+                    f"malformed fault spec entry {entry!r}"
+                ) from error
+        faults[site] = fault
+    return FaultPlan(faults)

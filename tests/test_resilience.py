@@ -1,0 +1,454 @@
+"""The fail-closed resilience layer: budgets, ladder, faults.
+
+Covers the resource budget in isolation (with a fake clock), the
+degradation ladder's rung configurations, the engine-level behaviour
+under budget exhaustion and injected faults, cache-corruption
+transparency, and the per-element boundary of ``authorize_batch``.
+The cross-cutting soundness properties (subset chains across rungs,
+delivery under random faults) live in
+``tests/property/test_degradation_ladder.py`` and
+``tests/property/test_fault_injection.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.engine import AuthorizationEngine
+from repro.core.audit import AuditLog
+from repro.core.mask import MASKED
+from repro.errors import (
+    BudgetExceededError,
+    DerivationTimeout,
+    FaultInjected,
+    ParseError,
+    ReproError,
+)
+from repro.metaalgebra.budget import Budget
+from repro.metaalgebra.ladder import (
+    DEGRADATION_LEVELS,
+    EMPTY_LEVEL,
+    rung_config,
+)
+from repro.testing.faults import (
+    Fault,
+    FaultPlan,
+    active,
+    inject,
+    install,
+    plan_from_spec,
+    uninstall,
+)
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    build_paper_engine,
+)
+
+
+def visible_cells(answer):
+    """Position-indexed unmasked cells; delivered rows align with the
+    raw answer, so positions are comparable across configurations."""
+    return {
+        (i, j, cell)
+        for i, row in enumerate(answer.delivered)
+        for j, cell in enumerate(row)
+        if cell is not MASKED
+    }
+
+
+# ----------------------------------------------------------------------
+# the budget, in isolation
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBudget:
+    def test_row_cap_enforced(self):
+        budget = Budget(max_rows=10)
+        budget.charge_rows(10, "product")  # at the cap: fine
+        with pytest.raises(BudgetExceededError) as info:
+            budget.charge_rows(11, "product")
+        assert info.value.resource == "mask-rows"
+        assert info.value.stage == "product"
+        assert info.value.observed == 11
+        assert info.value.limit == 10
+
+    def test_selfjoin_cap_enforced(self):
+        budget = Budget(max_selfjoin_pool=4)
+        budget.charge_selfjoin(4, "EMPLOYEE")
+        with pytest.raises(BudgetExceededError):
+            budget.charge_selfjoin(5, "EMPLOYEE")
+
+    def test_zero_limits_mean_unlimited(self):
+        budget = Budget()
+        budget.charge_rows(10**9, "product")
+        budget.charge_selfjoin(10**9, "EMPLOYEE")
+        budget.check_deadline("prune")  # no deadline set
+
+    def test_deadline_with_fake_clock(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=100.0, clock=clock)
+        budget.check_deadline("plan")
+        clock.now = 0.099
+        budget.check_deadline("plan")
+        clock.now = 0.101
+        with pytest.raises(DerivationTimeout) as info:
+            budget.check_deadline("plan")
+        assert info.value.stage == "plan"
+        assert info.value.deadline_ms == 100.0
+
+    def test_tick_polls_the_deadline_sparsely(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=50.0, clock=clock)
+        clock.now = 1.0  # deadline long past
+        # The first CHECK_EVERY - 1 ticks never read the clock.
+        for _ in range(Budget.CHECK_EVERY - 1):
+            budget.tick("selection")
+        with pytest.raises(DerivationTimeout):
+            budget.tick("selection")
+
+    def test_elapse_simulates_slowness(self):
+        clock = FakeClock()
+        budget = Budget(deadline_ms=100.0, clock=clock)
+        budget.elapse(1.0)  # a "slow" fault charges simulated seconds
+        with pytest.raises(DerivationTimeout):
+            budget.check_deadline("product")
+
+    def test_from_config_is_none_without_limits(self):
+        assert Budget.from_config(DEFAULT_CONFIG) is None
+
+    def test_from_config_picks_up_limits(self):
+        config = DEFAULT_CONFIG.but(max_mask_rows=7,
+                                    max_selfjoin_pool=3,
+                                    derivation_deadline_ms=250.0)
+        budget = Budget.from_config(config)
+        assert budget is not None
+        assert budget.max_rows == 7
+        assert budget.max_selfjoin_pool == 3
+        assert budget.deadline_ms == 250.0
+
+
+# ----------------------------------------------------------------------
+# rung configurations
+# ----------------------------------------------------------------------
+
+
+class TestRungConfig:
+    def test_level_zero_is_identity(self):
+        assert rung_config(DEFAULT_CONFIG, 0) is DEFAULT_CONFIG
+
+    def test_empty_level_has_no_config(self):
+        assert rung_config(DEFAULT_CONFIG, EMPTY_LEVEL) is None
+
+    def test_out_of_range_levels_rejected(self):
+        with pytest.raises(ValueError):
+            rung_config(DEFAULT_CONFIG, -1)
+        with pytest.raises(ValueError):
+            rung_config(DEFAULT_CONFIG, EMPTY_LEVEL + 1)
+
+    def test_rungs_only_disable_switches(self):
+        previous = DEFAULT_CONFIG
+        for level in range(1, EMPTY_LEVEL):
+            rung = rung_config(DEFAULT_CONFIG, level)
+            for switch in ("self_joins", "existential_closure",
+                           "product_padding", "refine_selection"):
+                # Monotone: once off at rung N, still off at rung N+1.
+                assert getattr(rung, switch) <= getattr(previous, switch)
+            previous = rung
+
+    def test_ladder_names_match_levels(self):
+        assert len(DEGRADATION_LEVELS) == EMPTY_LEVEL + 1
+        assert DEGRADATION_LEVELS[0] == "full"
+        assert DEGRADATION_LEVELS[EMPTY_LEVEL] == "empty"
+
+
+# ----------------------------------------------------------------------
+# the engine under budget pressure
+# ----------------------------------------------------------------------
+
+
+class TestBudgetDegradation:
+    def test_unbudgeted_engine_is_at_full_fidelity(self):
+        answer = build_paper_engine().authorize("Klein", EXAMPLE_2_QUERY)
+        assert answer.degradation_level == 0
+        assert answer.degradation == "full"
+        assert not answer.degraded
+        assert answer.error is None
+
+    def test_tight_row_budget_degrades_not_fails(self):
+        baseline = build_paper_engine().authorize("Klein",
+                                                  EXAMPLE_2_QUERY)
+        engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
+        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert answer.degraded
+        assert answer.degradation == "no-padding"
+        assert answer.error is None  # a rung succeeded: not a denial
+        assert visible_cells(answer) <= visible_cells(baseline)
+
+    def test_starved_budget_falls_to_empty(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=1))
+        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert answer.degradation == "empty"
+        assert visible_cells(answer) == set()
+        assert answer.error is not None
+        assert "BudgetExceededError" in answer.error
+
+    def test_selfjoin_pool_budget_degrades(self):
+        # Brown's EST closure blows a pool cap of 1 immediately.
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(max_selfjoin_pool=1)
+        )
+        answer = engine.authorize("Brown", EXAMPLE_3_QUERY)
+        assert answer.degraded
+        baseline = build_paper_engine().authorize("Brown",
+                                                  EXAMPLE_3_QUERY)
+        assert visible_cells(answer) <= visible_cells(baseline)
+
+    def test_generous_budget_changes_nothing(self):
+        baseline = build_paper_engine().authorize("Brown",
+                                                  EXAMPLE_1_QUERY)
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(max_mask_rows=10_000,
+                               max_selfjoin_pool=10_000,
+                               derivation_deadline_ms=60_000.0)
+        )
+        answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.degradation_level == 0
+        assert visible_cells(answer) == visible_cells(baseline)
+
+    def test_ladder_disabled_goes_straight_to_empty(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(max_mask_rows=1, degradation_ladder=False)
+        )
+        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert answer.degradation == "empty"
+        assert visible_cells(answer) == set()
+
+    def test_degraded_derivations_are_not_cached(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
+        first = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        second = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert first.degraded and second.degraded
+        assert not second.cache_hit
+        assert engine.stats().hits == 0
+
+    def test_full_fidelity_derivations_still_cached(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=50))
+        engine.authorize("Klein", EXAMPLE_2_QUERY)
+        second = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert second.degradation_level == 0
+        assert second.cache_hit
+
+
+# ----------------------------------------------------------------------
+# the engine under injected faults
+# ----------------------------------------------------------------------
+
+
+class TestFailClosed:
+    @pytest.mark.parametrize("site", [
+        "plan", "selfjoin", "product", "prune", "selection",
+        "projection", "closure",
+    ])
+    def test_derivation_faults_never_raise(self, site):
+        baseline = build_paper_engine().authorize("Klein",
+                                                  EXAMPLE_2_QUERY)
+        engine = build_paper_engine()
+        with inject({site: "raise"}) as plan:
+            answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        assert visible_cells(answer) <= visible_cells(baseline)
+        if plan.trips[site]:
+            # The fault actually fired on this path, so the answer
+            # must be degraded (possibly all the way to empty).
+            assert answer.degraded
+
+    def test_persistent_plan_fault_yields_error_answer(self):
+        engine = build_paper_engine()
+        with inject({"plan": "raise"}) as plan:
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.degradation == "empty"
+        assert answer.error is not None
+        assert "FaultInjected" in answer.error
+        assert visible_cells(answer) == set()
+        # One trip per non-empty rung: the ladder really walked down.
+        assert plan.trips["plan"] == EMPTY_LEVEL
+
+    def test_transient_fault_degrades_one_rung(self):
+        engine = build_paper_engine()
+        with inject({"plan": Fault("raise", times=1)}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.degradation == "no-selfjoins"
+        assert answer.error is None
+
+    def test_evaluate_fault_is_caught_at_the_boundary(self):
+        engine = build_paper_engine()
+        with inject({"engine.evaluate": "raise"}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.error is not None
+        assert answer.delivered == ()
+        assert answer.permits == ()
+        assert answer.degradation_level == EMPTY_LEVEL
+
+    def test_slow_fault_times_out_each_rung(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(derivation_deadline_ms=50.0)
+        )
+        with inject({"plan": Fault("slow", seconds=10.0)}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.degradation == "empty"
+        assert visible_cells(answer) == set()
+
+    def test_slow_fault_without_deadline_is_harmless(self):
+        engine = build_paper_engine()
+        with inject({"plan": Fault("slow", seconds=10.0)}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.degradation_level == 0
+
+    def test_dev_mode_reraises(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(fail_closed=False))
+        with inject({"product": "raise"}):
+            with pytest.raises(FaultInjected):
+                engine.authorize("Brown", EXAMPLE_1_QUERY)
+
+    def test_parse_errors_still_raise(self):
+        engine = build_paper_engine()
+        with pytest.raises(ReproError):
+            engine.authorize("Brown", "retrieve this is not a statement")
+        with pytest.raises(ParseError):
+            engine.authorize("Brown", "permit SAE to Klein")
+
+    def test_batch_boundary_is_per_element(self):
+        engine = build_paper_engine()
+        with inject({"engine.evaluate": Fault("raise", times=1)}):
+            answers = engine.authorize_batch(
+                "Brown", [EXAMPLE_1_QUERY, EXAMPLE_3_QUERY]
+            )
+        assert answers[0].error is not None
+        assert answers[0].delivered == ()
+        assert answers[1].error is None
+        assert answers[1].degradation_level == 0
+
+    def test_batch_failures_are_not_memoized(self):
+        engine = build_paper_engine()
+        with inject({"engine.evaluate": Fault("raise", times=1)}):
+            answers = engine.authorize_batch(
+                "Brown", [EXAMPLE_1_QUERY, EXAMPLE_1_QUERY]
+            )
+        # Same statement twice: the first hits the fault, the retry of
+        # the identical plan must not replay the failure from the memo.
+        assert answers[0].error is not None
+        assert answers[1].error is None
+        assert visible_cells(answers[1]) == visible_cells(
+            build_paper_engine().authorize("Brown", EXAMPLE_1_QUERY)
+        )
+
+    def test_audit_records_degradation_and_failure(self):
+        audit = AuditLog()
+        engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
+        engine.audit = audit
+        engine.authorize("Klein", EXAMPLE_2_QUERY)
+        with inject({"engine.evaluate": "raise"}):
+            engine.authorize("Brown", EXAMPLE_1_QUERY)
+        records = audit.records()
+        assert records[0].degradation_level == 2
+        assert records[0].error is None
+        assert records[1].error is not None
+        assert audit.degraded_count() == 2
+        report = audit.report()
+        assert "[degraded:2]" in report
+        assert "[fail-closed]" in report
+
+
+class TestCacheResilience:
+    def test_corrupted_entry_is_never_served(self):
+        engine = build_paper_engine()
+        clean = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert not clean.cache_hit
+        with inject({"cache.entry": "corrupt"}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        # The corrupted value fails structural validation, so the
+        # engine re-derives; the delivery is byte-identical.
+        assert answer.delivered == clean.delivered
+        assert answer.error is None
+
+    def test_lookup_fault_degrades_to_fresh_derivation(self):
+        engine = build_paper_engine()
+        clean = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        with inject({"cache.get": "raise"}):
+            answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert answer.delivered == clean.delivered
+        assert not answer.cache_hit
+
+    def test_store_fault_loses_only_future_hits(self):
+        engine = build_paper_engine()
+        with inject({"cache.put": "raise"}):
+            first = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert first.error is None
+        second = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        assert not second.cache_hit  # the store never happened
+        assert second.delivered == first.delivered
+
+    def test_cache_faults_reraise_in_dev_mode(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(fail_closed=False))
+        with inject({"cache.get": "raise"}):
+            with pytest.raises(FaultInjected):
+                engine.authorize("Brown", EXAMPLE_1_QUERY)
+
+
+# ----------------------------------------------------------------------
+# the fault-injection harness itself
+# ----------------------------------------------------------------------
+
+
+class TestFaultHarness:
+    def test_inject_restores_previous_plan(self):
+        outer = install({"plan": "raise"})
+        try:
+            with inject({"product": "raise"}) as inner:
+                assert active() is inner
+            assert active() is outer
+        finally:
+            uninstall()
+        assert active() is None
+
+    def test_fault_times_limits_firing(self):
+        fault = Fault("raise", times=2)
+        plan = FaultPlan({"x": fault})
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.visit("x")
+        plan.visit("x")  # exhausted: passes through
+        assert plan.visits["x"] == 3
+        assert plan.trips["x"] == 2
+
+    def test_plan_from_spec_round_trip(self):
+        plan = plan_from_spec(
+            "selfjoin:raise:1,product:slow:0.5,cache.entry:corrupt"
+        )
+        assert plan.faults["selfjoin"].action == "raise"
+        assert plan.faults["selfjoin"].times == 1
+        assert plan.faults["product"].action == "slow"
+        assert plan.faults["product"].seconds == 0.5
+        assert plan.faults["cache.entry"].action == "corrupt"
+
+    @pytest.mark.parametrize("spec", [
+        "plan", "plan:explode", "plan:raise:many", "plan:raise:1:2",
+    ])
+    def test_plan_from_spec_rejects_garbage(self, spec):
+        with pytest.raises(ReproError):
+            plan_from_spec(spec)
+
+    def test_error_types_are_repro_errors(self):
+        assert issubclass(BudgetExceededError, ReproError)
+        assert issubclass(DerivationTimeout, ReproError)
+        assert issubclass(FaultInjected, ReproError)
