@@ -5,6 +5,18 @@ Each ``bench_*`` module regenerates one of DESIGN.md's experiments
 the hot path with pytest-benchmark.  Every benchmarked function also
 *asserts* the paper's outcome, so a regression in behaviour fails the
 benchmark run rather than silently timing the wrong thing.
+
+The ``paper_engine`` fixture is parameterizable over the hot-path
+switches (``docs/PERFORMANCE.md``) for A/B runs::
+
+    pytest benchmarks/ --engine-mode hot --engine-mode reference
+
+runs every ``paper_engine`` benchmark twice — once with the compiled
+mask kernels and the streaming product (the default), once with both
+replaced by the interpreted/materializing reference paths — so a
+speedup claim can be read straight off one report.  Because the two
+paths are differentially identical, every behavioural assertion holds
+in every mode.
 """
 
 from __future__ import annotations
@@ -14,10 +26,42 @@ import pytest
 from repro.config import DEFAULT_CONFIG
 from repro.workloads.paperdb import build_paper_engine
 
+#: Engine modes selectable with ``--engine-mode`` (repeatable).
+ENGINE_MODES = {
+    # Hot path: compiled mask kernels + streaming pruned product.
+    "hot": {},
+    # Interpreted Mask.apply, streaming product.
+    "interpreted-mask": {"compiled_masks": False},
+    # Compiled masks, materialize-then-prune product.
+    "materializing-product": {"streaming_product": False},
+    # Both reference paths (the pre-optimization engine).
+    "reference": {"compiled_masks": False, "streaming_product": False},
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-mode",
+        action="append",
+        choices=sorted(ENGINE_MODES),
+        default=None,
+        help="paper_engine configuration(s) to benchmark; "
+             "repeat for A/B runs (default: hot)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "paper_engine" in metafunc.fixturenames:
+        modes = metafunc.config.getoption("--engine-mode") or ["hot"]
+        metafunc.parametrize("paper_engine", modes, indirect=True)
+
 
 @pytest.fixture
-def paper_engine():
+def paper_engine(request):
+    mode = getattr(request, "param", "hot")
     # The derivation cache is disabled so repeated benchmark rounds
     # keep measuring the meta-algebra itself; bench_cache.py measures
     # the cache explicitly with its own engines.
-    return build_paper_engine(DEFAULT_CONFIG.but(derivation_cache_size=0))
+    return build_paper_engine(
+        DEFAULT_CONFIG.but(derivation_cache_size=0, **ENGINE_MODES[mode])
+    )

@@ -18,6 +18,7 @@ The result is identical to :func:`repro.algebra.evaluate.evaluate_naive`
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Sequence, Tuple
 
 from repro.algebra.database import Database
@@ -44,18 +45,20 @@ def evaluate_optimized(query: PSJQuery, database: Database) -> Relation:
     widths = [schema.get(o.relation).arity for o in query.occurrences]
 
     # For each occurrence step, gather the conditions that become fully
-    # bound once that occurrence is added.
+    # bound once that occurrence is added: a condition joins the step
+    # binding the last column it references.  One pass over the
+    # conditions; a condition referencing no bindable column (possible
+    # only for malformed queries) is dropped, as before.
+    bounds: List[int] = []
     bound_width = 0
-    step_conditions: List[List[AtomicCondition]] = []
-    remaining = list(query.conditions)
     for width in widths:
         bound_width += width
-        now_ready = [
-            c for c in remaining
-            if all(index < bound_width for index in c.columns())
-        ]
-        remaining = [c for c in remaining if c not in now_ready]
-        step_conditions.append(now_ready)
+        bounds.append(bound_width)
+    step_conditions: List[List[AtomicCondition]] = [[] for _ in widths]
+    for condition in query.conditions:
+        step = bisect_right(bounds, max(condition.columns(), default=-1))
+        if step < len(step_conditions):
+            step_conditions[step].append(condition)
 
     partials: List[Row] = [()]
     for step, occ in enumerate(query.occurrences):

@@ -80,6 +80,25 @@ class EngineConfig:
         derivation_deadline_ms: budget — wall-time limit per derivation
             attempt (0 = no deadline).  Each ladder rung gets a fresh
             deadline, so the worst case is ``rungs * deadline``.
+        compiled_masks: apply masks through compiled matchers
+            (``repro.core.compiled_mask``): each mask row is compiled
+            once into a constant hash-index probe plus precomputed
+            equality groups and interval checks, and the compiled form
+            is cached alongside the derivation under the same version
+            token.  Delivered rows are identical to the interpreted
+            :meth:`repro.core.mask.Mask.apply` (the differential suite
+            ``tests/property/test_compiled_mask.py`` enforces it); the
+            switch exists as an opt-out for A/B benchmarking and as a
+            fallback.  See ``docs/PERFORMANCE.md``.
+        streaming_product: fold the dangling-reference pruning and the
+            provenance-aware dedupe into the meta-product's combination
+            loop, so product rows destined for pruning are never
+            materialized (and ``max_mask_rows`` only meters rows that
+            actually survive).  The resulting pruned product is
+            identical to materialize-then-prune
+            (``tests/property/test_streaming_product.py``); the switch
+            exists as an opt-out for A/B benchmarking and for printing
+            the paper's pre-prune product tables.
         degradation_ladder: on budget exhaustion or internal failure,
             re-derive at progressively cheaper rungs (full refinements
             → no self-joins → no padding → base model → empty mask)
@@ -108,6 +127,8 @@ class EngineConfig:
     max_mask_rows: int = 0
     max_selfjoin_pool: int = 0
     derivation_deadline_ms: float = 0.0
+    compiled_masks: bool = True
+    streaming_product: bool = True
     degradation_ladder: bool = True
     fail_closed: bool = True
 

@@ -9,6 +9,7 @@ end.
 from repro.core.answer import AuthorizedAnswer, DeliveryStats
 from repro.core.audit import AuditLog, AuditRecord
 from repro.core.cache import CacheStats, DerivationCache
+from repro.core.compiled_mask import CompiledMask, compile_mask
 from repro.core.engine import AuthorizationEngine
 from repro.core.explain import explain
 from repro.core.mask import (
@@ -31,8 +32,10 @@ __all__ = [
     "AuthorizationEngine",
     "AuthorizedAnswer",
     "CacheStats",
+    "CompiledMask",
     "DeliveryStats",
     "DerivationCache",
+    "compile_mask",
     "FrontEnd",
     "FrontEndResult",
     "InferredPermit",

@@ -26,7 +26,7 @@ Control").  The differential and property suites in
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.metaalgebra.canonical import PlanKey
@@ -83,6 +83,12 @@ class CacheStats:
 class _Entry:
     token: CacheToken
     derivation: MaskDerivation
+    #: Compiled mask-application kernel for the derivation's mask
+    #: (``repro.core.compiled_mask``), attached lazily by the engine on
+    #: first delivery.  It lives and dies with the entry: the same
+    #: token guards it, so a grant or definition change that would
+    #: invalidate the derivation invalidates the compiled matcher too.
+    compiled: Optional[object] = None
 
 
 class DerivationCache:
@@ -145,6 +151,42 @@ class DerivationCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # compiled mask kernels (stored alongside the derivation)
+    # ------------------------------------------------------------------
+
+    def get_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken) -> Optional[object]:
+        """The compiled mask attached to a live entry, else ``None``.
+
+        Deliberately side-effect free: no statistics, no LRU bump, no
+        stale-entry eviction — the derivation lookup that precedes it
+        already did all three.  The engine revalidates the type of what
+        comes back before using it.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get((user, plan_key))
+        if entry is None or entry.token != token:
+            return None
+        return entry.compiled
+
+    def put_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken, compiled: object) -> None:
+        """Attach a compiled mask to the matching live entry.
+
+        A no-op when the entry is missing or its token went stale — a
+        compiled mask must never outlive the derivation it was built
+        from.
+        """
+        if not self.enabled:
+            return
+        key = (user, plan_key)
+        entry = self._entries.get(key)
+        if entry is None or entry.token != token:
+            return
+        self._entries[key] = replace(entry, compiled=compiled)
 
     # ------------------------------------------------------------------
     # maintenance

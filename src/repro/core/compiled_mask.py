@@ -1,0 +1,277 @@
+"""Compiled mask-application kernels (the online hot path).
+
+``Mask.apply`` is the one per-request cost that scales with the answer:
+the interpreted path re-derives each row's starred positions and
+re-walks every mask row's cells for every answer tuple — an
+O(|A| * |A'|) nested scan of interpreted work.  This module compiles a
+:class:`~repro.core.mask.Mask` once into a specialized matcher so the
+per-tuple work collapses to hash probes and precomputed checks:
+
+* **constant cells** become an equality key.  Rows are grouped by the
+  *positions* of their constant cells (their signature) and bucketed in
+  a hash index keyed by the constant *values*; an answer tuple probes
+  each signature once and never evaluates a row whose constants it
+  cannot match.
+* **variable cells** become precomputed equality-group position lists
+  (one membership walk per repeated variable) plus per-variable
+  interval checks hoisted out of the constraint store.
+* the **constraint store** is consulted only when a row actually binds
+  variables *and* carries variable-to-variable relations; rows whose
+  store is provably unsatisfiable are dropped at compile time.
+* rows that match unconditionally (no constants, no variables) are
+  folded into a precomputed ``always_visible`` set, which also yields
+  the ``covers_everything`` fast path: when the mask always exposes
+  every column, ``apply`` returns the answer rows untouched.
+
+Compilation is pure: the compiled matcher is differentially identical
+to the interpreted ``Mask.apply`` / ``Mask.visible_positions`` (the
+reference oracle), a property enforced by
+``tests/property/test_compiled_mask.py`` across generated masks,
+answers, blanks, repeated variables, and COMPARISON constraints.  The
+engine stores compiled masks alongside derivations in the
+:class:`~repro.core.cache.DerivationCache` under the same catalog
+version token, so compilation is amortized exactly like derivation
+(``docs/CACHING.md``), and ``EngineConfig.compiled_masks`` opts back
+into the interpreted path for A/B benchmarking
+(``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algebra.relation import Relation, Row
+from repro.core.mask import MASKED, Mask
+from repro.predicates.intervals import Interval
+from repro.predicates.store import ConstraintStore
+
+
+class CompiledRow:
+    """One mask row, lowered to positional checks.
+
+    The row's membership in the hash index already guarantees its
+    constant cells match; what remains per tuple is the precomputed
+    equality groups, the hoisted interval checks, and — only when the
+    row's store relates variables to each other — the full
+    ``satisfied_by`` residual check.
+    """
+
+    __slots__ = ("star_set", "eq_groups", "interval_checks",
+                 "binding_spec", "store")
+
+    def __init__(
+        self,
+        star_set: FrozenSet[int],
+        eq_groups: Tuple[Tuple[int, ...], ...],
+        interval_checks: Tuple[Tuple[int, Interval], ...],
+        binding_spec: Optional[Tuple[Tuple[str, int], ...]],
+        store: Optional[ConstraintStore],
+    ):
+        self.star_set = star_set
+        self.eq_groups = eq_groups
+        self.interval_checks = interval_checks
+        self.binding_spec = binding_spec
+        self.store = store
+
+    def matches(self, values: Row) -> bool:
+        """Does this row admit ``values``?  (Constants already probed.)"""
+        for group in self.eq_groups:
+            first = values[group[0]]
+            for position in group[1:]:
+                if values[position] != first:
+                    return False
+        for position, interval in self.interval_checks:
+            if not interval.contains(values[position]):
+                return False
+        if self.binding_spec is not None:
+            assert self.store is not None
+            binding = {
+                var: values[position]
+                for var, position in self.binding_spec
+            }
+            return self.store.satisfied_by(binding)
+        return True
+
+
+class CompiledMask:
+    """A mask lowered to a constant hash index plus compiled rows."""
+
+    __slots__ = ("ncols", "always_visible", "groups", "covers_all",
+                 "_masked_template", "_full_set")
+
+    def __init__(self, ncols: int, always_visible: FrozenSet[int],
+                 groups: Tuple[
+                     Tuple[Tuple[int, ...],
+                           Dict[Tuple, List[CompiledRow]]], ...]):
+        self.ncols = ncols
+        self.always_visible = always_visible
+        self.groups = groups
+        #: Every column is visible for every tuple: apply() may return
+        #: the answer untouched (the ``covers_everything`` fast path,
+        #: generalized to unions of unconditional rows).
+        self.covers_all = ncols > 0 and len(always_visible) == ncols
+        self._masked_template = (MASKED,) * ncols
+        self._full_set = frozenset(range(ncols))
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def visible_positions(self, values: Row) -> FrozenSet[int]:
+        """Columns of ``values`` that may be delivered.
+
+        Differentially identical to
+        :meth:`repro.core.mask.Mask.visible_positions`.
+        """
+        if self.covers_all:
+            return self._full_set
+        visible = set(self.always_visible)
+        ncols = self.ncols
+        for positions, buckets in self.groups:
+            rows = buckets.get(tuple(values[p] for p in positions))
+            if not rows:
+                continue
+            for row in rows:
+                if row.star_set <= visible:
+                    continue
+                if row.matches(values):
+                    visible |= row.star_set
+                    if len(visible) == ncols:
+                        return self._full_set
+        return frozenset(visible)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def apply(self, answer: Relation,
+              drop_fully_masked: bool = False) -> Tuple[Tuple, ...]:
+        """Mask ``answer`` — byte-identical to ``Mask.apply``."""
+        if self.covers_all:
+            return tuple(tuple(values) for values in answer.rows)
+        ncols = self.ncols
+        delivered: List[Tuple] = []
+        append = delivered.append
+        masked_row = self._masked_template
+        for values in answer.rows:
+            visible = self.visible_positions(values)
+            if not visible:
+                if drop_fully_masked:
+                    continue
+                append(masked_row)
+            elif len(visible) == ncols:
+                append(tuple(values))
+            else:
+                append(tuple(
+                    value if i in visible else MASKED
+                    for i, value in enumerate(values)
+                ))
+        return tuple(delivered)
+
+
+def _compile_row(meta, store: ConstraintStore) -> Optional[
+        Tuple[Tuple[Tuple[int, ...], Tuple], CompiledRow]]:
+    """Lower one mask row; ``None`` when it can never deliver a cell.
+
+    Returns ``((constant positions, constant values), compiled row)`` —
+    the first element is the row's slot in the hash index.
+    """
+    star_set = frozenset(meta.starred_positions())
+    if not star_set:
+        return None  # delivers nothing; the interpreted path skips too
+
+    const_positions: List[int] = []
+    const_values: List = []
+    var_positions: Dict[str, List[int]] = {}
+    for position, cell in enumerate(meta.cells):
+        if cell.is_constant:
+            const_positions.append(position)
+            const_values.append(cell.const_value)
+        else:
+            var = cell.var_name
+            if var is not None:
+                var_positions.setdefault(var, []).append(position)
+
+    eq_groups = tuple(
+        tuple(positions) for positions in var_positions.values()
+        if len(positions) > 1
+    )
+
+    if not var_positions:
+        # No variables: the interpreted matcher never consults the
+        # store for such a row (an empty binding short-circuits to
+        # True), so neither do we.
+        return ((tuple(const_positions), tuple(const_values)),
+                CompiledRow(star_set, eq_groups, (), None, None))
+
+    if store.is_definitely_unsat():
+        # Tightening never un-empties an interval, so this row can
+        # never satisfy its constraints: drop it at compile time.
+        return None
+
+    interval_checks = tuple(
+        (positions[0], interval)
+        for var, positions in var_positions.items()
+        for interval in (store.interval_for(var),)
+        if not interval.is_top
+    )
+    if any(interval.is_empty() for _, interval in interval_checks):
+        return None
+
+    if store.relations():
+        # Variable-to-variable constraints: fall back to the full
+        # residual check, binding variables in first-occurrence order
+        # exactly as the interpreted matcher does.
+        binding_spec = tuple(
+            (var, var_positions[var][0]) for var in meta.variables()
+        )
+        return ((tuple(const_positions), tuple(const_values)),
+                CompiledRow(star_set, eq_groups, interval_checks,
+                            binding_spec, store))
+
+    # Interval-only store: the hoisted checks are the whole semantics,
+    # provided no residual (unbound) variable is pinned to an empty
+    # interval — that case is constant per row, so decide it now.
+    residual = store.mentioned_vars() - set(var_positions)
+    if any(store.interval_for(var).is_empty() for var in residual):
+        return None
+    return ((tuple(const_positions), tuple(const_values)),
+            CompiledRow(star_set, eq_groups, interval_checks, None, None))
+
+
+def compile_mask(mask: Mask) -> CompiledMask:
+    """Compile ``mask`` into a :class:`CompiledMask` matcher."""
+    ncols = len(mask.columns)
+    always_visible: set = set()
+    pending: List[Tuple[Tuple[Tuple[int, ...], Tuple], CompiledRow]] = []
+    for mask_row in mask.rows:
+        compiled = _compile_row(mask_row.meta, mask_row.store)
+        if compiled is None:
+            continue
+        (positions, _), row = compiled
+        if (not positions and not row.eq_groups
+                and not row.interval_checks and row.binding_spec is None):
+            # Unconditional: contributes its stars to every tuple.
+            always_visible |= row.star_set
+        else:
+            pending.append(compiled)
+
+    # The hash index: one bucket map per constant-position signature.
+    # Rows whose stars are already always visible can never add a cell.
+    index: Dict[Tuple[int, ...], Dict[Tuple, List[CompiledRow]]] = {}
+    for (positions, values), row in pending:
+        if row.star_set <= always_visible:
+            continue
+        buckets = index.setdefault(positions, {})
+        buckets.setdefault(values, []).append(row)
+
+    # Within each bucket, try rows with the largest starred sets first:
+    # the visible union grows fastest, the subset skip fires more often,
+    # and the all-columns early exit is reached sooner.  Order never
+    # changes the union itself, so this is purely a scheduling choice.
+    for buckets in index.values():
+        for rows in buckets.values():
+            rows.sort(key=lambda row: len(row.star_set), reverse=True)
+
+    groups = tuple(index.items())
+    return CompiledMask(ncols, frozenset(always_visible), groups)

@@ -44,6 +44,7 @@ from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.answer import AuthorizedAnswer
 from repro.core.cache import CacheStats, DerivationCache
+from repro.core.compiled_mask import CompiledMask, compile_mask
 from repro.core.mask import Mask
 from repro.core.statements import InferredPermit, infer_permits
 from repro.errors import ParseError
@@ -239,6 +240,23 @@ class AuthorizationEngine:
         derivation, _ = self._derive_plan(user, plan)
         return derivation
 
+    def trace(self, user: str,
+              query: Union[Query, str]) -> MaskDerivation:
+        """A display-fidelity derivation: materializing product.
+
+        The streaming product never materializes the rows Section 4.1
+        would prune, so a streamed derivation cannot print the paper's
+        pre-prune product table.  ``trace`` re-derives with
+        ``streaming_product`` off — bypassing the derivation cache,
+        which is keyed for the engine's own configuration — purely for
+        explanation output; the final mask is identical either way.
+        """
+        query = self._parse_query(query, "trace")
+        plan = self._compile(query)
+        return self._derive_uncached(
+            user, plan, config=self.config.but(streaming_product=False)
+        )
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -282,9 +300,17 @@ class AuthorizationEngine:
                   hit: bool) -> AuthorizedAnswer:
         assert derivation.mask is not None
         mask = Mask.from_table(derivation.mask)
-        delivered = mask.apply(
-            answer, drop_fully_masked=self.config.drop_fully_masked_rows
-        )
+        compiled = self._compiled_for(user, plan, derivation)
+        if compiled is not None:
+            delivered = compiled.apply(
+                answer,
+                drop_fully_masked=self.config.drop_fully_masked_rows,
+            )
+        else:
+            delivered = mask.apply(
+                answer,
+                drop_fully_masked=self.config.drop_fully_masked_rows,
+            )
         return AuthorizedAnswer(
             user=user,
             query=query,
@@ -305,6 +331,47 @@ class AuthorizationEngine:
                 else None
             ),
         )
+
+    def _compiled_for(self, user: str, plan: PSJQuery,
+                      derivation: MaskDerivation
+                      ) -> Optional[CompiledMask]:
+        """The compiled application kernel for ``derivation``'s mask.
+
+        Amortized exactly like the derivation itself: the compiled mask
+        is attached to the derivation's cache entry under the same
+        catalog token, so a cache hit skips compilation and an
+        invalidation drops both together.  Any failure — lookup, store,
+        or compilation — degrades to the interpreted ``Mask.apply``
+        (``None``), which is always correct; dev mode re-raises.
+        """
+        if not self.config.compiled_masks or derivation.mask is None:
+            return None
+        cache = self._derivation_cache
+        key = token = None
+        if cache.enabled and derivation.degradation_level == 0:
+            try:
+                key = self._plan_key(plan)
+                token = self.catalog.cache_token(user)
+                compiled = cache.get_compiled(user, key, token)
+            except Exception:
+                if not self.config.fail_closed:
+                    raise
+                key = token = compiled = None
+            if isinstance(compiled, CompiledMask):
+                return compiled
+        try:
+            compiled = compile_mask(Mask.from_table(derivation.mask))
+        except Exception:
+            if not self.config.fail_closed:
+                raise
+            return None
+        if key is not None and token is not None:
+            try:
+                cache.put_compiled(user, key, token, compiled)
+            except Exception:
+                if not self.config.fail_closed:
+                    raise
+        return compiled
 
     def _failed_answer(self, user: str, query: Query, plan: PSJQuery,
                        error: Exception) -> AuthorizedAnswer:
@@ -375,10 +442,13 @@ class AuthorizationEngine:
             and cached.mask is not None
         )
 
-    def _derive_uncached(self, user: str,
-                         plan: PSJQuery) -> MaskDerivation:
+    def _derive_uncached(
+        self, user: str, plan: PSJQuery,
+        config: Optional[EngineConfig] = None,
+    ) -> MaskDerivation:
+        config = config if config is not None else self.config
         excuse = None
-        if self.config.existential_closure:
+        if config.existential_closure:
             try:
                 admissible = self.catalog.admissible_views(
                     user, plan.relation_names()
@@ -390,7 +460,7 @@ class AuthorizationEngine:
                 # The excuse only ever *keeps* rows the pruning would
                 # drop, so deriving without it stays sound (the mask
                 # shrinks).  Dev mode wants the traceback instead.
-                if not self.config.fail_closed:
+                if not config.fail_closed:
                     raise
                 excuse = None
         try:
@@ -399,7 +469,7 @@ class AuthorizationEngine:
             # Without the memoized pool derive_mask recomputes the
             # closure itself; a persistent fault then degrades down
             # the ladder to the no-self-join rung.
-            if not self.config.fail_closed:
+            if not config.fail_closed:
                 raise
             selfjoin_pool = None
         return derive_mask_resilient(
@@ -407,7 +477,7 @@ class AuthorizationEngine:
             self.database.schema,
             self.catalog,
             user,
-            self.config,
+            config,
             excuse=excuse,
             selfjoin_pool=selfjoin_pool,
         )

@@ -27,6 +27,14 @@ def explain(engine: AuthorizationEngine, user: str,
     """A full, paper-style trace of one authorization."""
     answer = engine.authorize(user, query)
     derivation = answer.derivation
+    if derivation.streamed and derivation.degradation_level == 0:
+        # The streaming product never materializes the pre-prune rows,
+        # so re-derive (materializing, uncached) for the paper's full
+        # product table; the mask is identical either way.
+        try:
+            derivation = engine.trace(user, answer.query)
+        except Exception:
+            pass  # fall back to the streamed (post-prune) trace
     schema = engine.database.schema
     sections: List[str] = []
 

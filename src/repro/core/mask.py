@@ -11,6 +11,7 @@ some mask row makes it visible; everything else is masked.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Tuple
 
 from repro.algebra.relation import Column, Relation, Row
@@ -103,12 +104,15 @@ class Mask:
         """True when nothing at all may be delivered."""
         return not self.rows
 
-    @property
+    @cached_property
     def covers_everything(self) -> bool:
         """True when some row stars all columns with no restriction.
 
         Example 3's outcome: "the answer will be delivered without any
-        accompanying permit statements".
+        accompanying permit statements".  Cached: the check walks every
+        row and restricts every row's constraint store, and callers
+        (permit inference, ``apply``'s short-circuit) ask repeatedly.
+        The dataclass is frozen, so the cached value can never go stale.
         """
         return any(
             all(cell.starred and cell.is_blank for cell in row.meta.cells)
@@ -144,6 +148,12 @@ class Mask:
     def apply(self, answer: Relation,
               drop_fully_masked: bool = False) -> Tuple[Tuple, ...]:
         """Mask ``answer``, returning delivered rows with MASKED cells."""
+        if self.covers_everything and self.columns:
+            # Example 3's fast path: every cell of every tuple is
+            # visible, so no per-tuple matching is needed.  (Guarded on
+            # non-zero arity: a zero-column answer has no visible cells
+            # and must keep the drop_fully_masked semantics below.)
+            return tuple(tuple(values) for values in answer.rows)
         delivered: List[Tuple] = []
         for values in answer.rows:
             visible = self.visible_positions(values)

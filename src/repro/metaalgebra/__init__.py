@@ -8,7 +8,7 @@ meta-relations.
 """
 
 from repro.metaalgebra.plan import MaskDerivation, derive_mask
-from repro.metaalgebra.product import meta_product
+from repro.metaalgebra.product import meta_product, meta_product_streaming
 from repro.metaalgebra.projection import meta_project
 from repro.metaalgebra.prune import (
     cleanup,
@@ -30,6 +30,7 @@ __all__ = [
     "derive_mask",
     "mask_row",
     "meta_product",
+    "meta_product_streaming",
     "meta_project",
     "meta_select",
     "prune_dangling",

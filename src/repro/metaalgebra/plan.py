@@ -32,7 +32,7 @@ from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.meta.catalog import PermissionCatalog
 from repro.meta.metatuple import MetaTuple
 from repro.metaalgebra.budget import Budget
-from repro.metaalgebra.product import meta_product
+from repro.metaalgebra.product import meta_product, meta_product_streaming
 from repro.metaalgebra.projection import meta_project
 from repro.metaalgebra.prune import (
     ExcusePredicate,
@@ -58,6 +58,12 @@ class MaskDerivation:
     admissible_views: Tuple[str, ...]
     pruned_meta: Dict[str, Tuple[MetaTuple, ...]]
     selfjoin_added: Dict[str, Tuple[MetaTuple, ...]]
+    #: The product "after replications are removed" (display form,
+    #: provenance-blind).  When the derivation ``streamed``, rows
+    #: destined for the dangling-reference pruning were never
+    #: materialized, so this holds the post-prune table instead; ask
+    #: the engine for a non-streaming trace (``AuthorizationEngine
+    #: .trace``) to print the paper's full pre-prune product.
     raw_product: MaskTable
     pruned_product: MaskTable
     after_selections: List[Tuple[SelectionStep, MaskTable]] = field(
@@ -71,6 +77,9 @@ class MaskDerivation:
     #: The failure that forced the first descent below rung 0
     #: (``None`` at full fidelity).
     degradation_reason: Optional[str] = None
+    #: True when the product stage streamed (pruning and dedupe folded
+    #: into the combination loop, pre-prune rows never materialized).
+    streamed: bool = False
 
 
 def derive_mask(
@@ -140,10 +149,28 @@ def derive_mask(
         for o in psj.occurrences
     ]
 
-    product = meta_product(
-        columns, operands, arities, store,
-        padding=config.product_padding, budget=budget,
-    )
+    if config.streaming_product:
+        # Hot path: the dangling check and the provenance-aware dedupe
+        # run inside the combination loop, so rows Section 4.1 would
+        # prune are never materialized (and never metered).
+        product = meta_product_streaming(
+            columns, operands, arities, store, defining,
+            padding=config.product_padding, budget=budget,
+            excuse=excuse if config.existential_closure else None,
+            prune=config.prune_dangling,
+        )
+        current = product
+    else:
+        product = meta_product(
+            columns, operands, arities, store,
+            padding=config.product_padding, budget=budget,
+        )
+        current = product
+        if config.prune_dangling:
+            current = prune_dangling(
+                current, defining,
+                excuse if config.existential_closure else None,
+            )
 
     derivation = MaskDerivation(
         admissible_views=admissible,
@@ -151,14 +178,9 @@ def derive_mask(
         selfjoin_added=selfjoin_added,
         raw_product=product.deduped(),  # display form, provenance-blind
         pruned_product=product,
+        streamed=config.streaming_product,
     )
 
-    current = product
-    if config.prune_dangling:
-        current = prune_dangling(
-            current, defining,
-            excuse if config.existential_closure else None,
-        )
     current = prune_unsatisfiable(current)
     if config.dedupe:
         current = current.deduped()

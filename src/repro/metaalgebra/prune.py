@@ -36,24 +36,30 @@ def prune_dangling(
     maybe_fault("prune")
     rows: List[MaskRow] = []
     for row in table.rows:
-        if _row_is_closed(row, defining, excuse):
+        if meta_is_closed(row.meta, defining, excuse):
             rows.append(row)
     return table.with_rows(rows)
 
 
-def _row_is_closed(
-    row: MaskRow,
+def meta_is_closed(
+    meta: MetaTuple,
     defining: Dict[str, FrozenSet[TupleId]],
-    excuse: Optional[ExcusePredicate],
+    excuse: Optional[ExcusePredicate] = None,
 ) -> bool:
-    provenance = row.meta.provenance
-    for var in row.meta.variables():
+    """Is every variable of ``meta`` defined within its own provenance?
+
+    The row-level predicate behind :func:`prune_dangling`, exposed so
+    the streaming product (``repro.metaalgebra.product``) can apply the
+    same check *before* a product row is ever materialized.
+    """
+    provenance = meta.provenance
+    for var in meta.variables():
         missing = defining.get(var, frozenset()) - provenance
         if not missing:
             continue
         if excuse is None:
             return False
-        if not all(excuse(row.meta, tuple_id) for tuple_id in missing):
+        if not all(excuse(meta, tuple_id) for tuple_id in missing):
             return False
     return True
 

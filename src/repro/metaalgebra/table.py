@@ -25,7 +25,23 @@ class MaskRow:
     store: ConstraintStore
 
     def key(self, include_provenance: bool = False):
-        return canonical_key(self.meta, self.store, include_provenance)
+        """Canonical (rename-invariant) identity, computed once per variant.
+
+        Dedupe and the streaming product ask the same row for its key
+        repeatedly, and canonicalization walks the whole store — so both
+        variants are memoized on the instance (a ``__dict__`` write via
+        ``object.__setattr__``; dataclass equality and hashing compare
+        fields only, so the memo never leaks into either).
+        """
+        cached = self.__dict__.get("_keys")
+        if cached is None:
+            cached = {}
+            object.__setattr__(self, "_keys", cached)
+        key = cached.get(include_provenance)
+        if key is None:
+            key = canonical_key(self.meta, self.store, include_provenance)
+            cached[include_provenance] = key
+        return key
 
     def __str__(self) -> str:
         return str(self.meta)

@@ -185,11 +185,17 @@ class TestBudgetDegradation:
         assert not answer.degraded
         assert answer.error is None
 
+    # Budget tests below drive Brown's Example 3: the streaming product
+    # meters only rows that survive its folded-in pruning and dedupe,
+    # and Klein's Example 2 survives on a single row at every rung, so
+    # it can no longer exhaust a row cap.  Brown's self-join-heavy
+    # derivation still materializes 7 rows at full fidelity.
+
     def test_tight_row_budget_degrades_not_fails(self):
-        baseline = build_paper_engine().authorize("Klein",
-                                                  EXAMPLE_2_QUERY)
+        baseline = build_paper_engine().authorize("Brown",
+                                                  EXAMPLE_3_QUERY)
         engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
-        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        answer = engine.authorize("Brown", EXAMPLE_3_QUERY)
         assert answer.degraded
         assert answer.degradation == "no-padding"
         assert answer.error is None  # a rung succeeded: not a denial
@@ -197,11 +203,31 @@ class TestBudgetDegradation:
 
     def test_starved_budget_falls_to_empty(self):
         engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=1))
-        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        answer = engine.authorize("Brown", EXAMPLE_3_QUERY)
         assert answer.degradation == "empty"
         assert visible_cells(answer) == set()
         assert answer.error is not None
         assert "BudgetExceededError" in answer.error
+
+    def test_streaming_survives_budgets_materializing_blows(self):
+        # The point of the streaming product: rows destined for the
+        # dangling-reference pruning never count against the budget.
+        # Klein's Example 2 product has 15 materialized rows but only
+        # one survivor, so a cap of 3 degrades the materializing
+        # engine while the streaming one stays at full fidelity —
+        # with an identical mask.
+        streaming = build_paper_engine(
+            DEFAULT_CONFIG.but(max_mask_rows=3)
+        ).authorize("Klein", EXAMPLE_2_QUERY)
+        materializing = build_paper_engine(
+            DEFAULT_CONFIG.but(max_mask_rows=3, streaming_product=False)
+        ).authorize("Klein", EXAMPLE_2_QUERY)
+        assert not streaming.degraded
+        assert materializing.degraded
+        unbudgeted = build_paper_engine().authorize(
+            "Klein", EXAMPLE_2_QUERY
+        )
+        assert visible_cells(streaming) == visible_cells(unbudgeted)
 
     def test_selfjoin_pool_budget_degrades(self):
         # Brown's EST closure blows a pool cap of 1 immediately.
@@ -230,14 +256,14 @@ class TestBudgetDegradation:
         engine = build_paper_engine(
             DEFAULT_CONFIG.but(max_mask_rows=1, degradation_ladder=False)
         )
-        answer = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        answer = engine.authorize("Brown", EXAMPLE_3_QUERY)
         assert answer.degradation == "empty"
         assert visible_cells(answer) == set()
 
     def test_degraded_derivations_are_not_cached(self):
         engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
-        first = engine.authorize("Klein", EXAMPLE_2_QUERY)
-        second = engine.authorize("Klein", EXAMPLE_2_QUERY)
+        first = engine.authorize("Brown", EXAMPLE_3_QUERY)
+        second = engine.authorize("Brown", EXAMPLE_3_QUERY)
         assert first.degraded and second.degraded
         assert not second.cache_hit
         assert engine.stats().hits == 0
@@ -356,7 +382,7 @@ class TestFailClosed:
         audit = AuditLog()
         engine = build_paper_engine(DEFAULT_CONFIG.but(max_mask_rows=3))
         engine.audit = audit
-        engine.authorize("Klein", EXAMPLE_2_QUERY)
+        engine.authorize("Brown", EXAMPLE_3_QUERY)
         with inject({"engine.evaluate": "raise"}):
             engine.authorize("Brown", EXAMPLE_1_QUERY)
         records = audit.records()
