@@ -17,6 +17,17 @@ replaced by the interpreted/materializing reference paths — so a
 speedup claim can be read straight off one report.  Because the two
 paths are differentially identical, every behavioural assertion holds
 in every mode.
+
+The benchmark tree is also inside the static-analysis perimeter
+(``docs/STATIC_ANALYSIS.md``): CI's ``static-analysis`` job runs
+``ruff check`` over ``benchmarks/``, and the fast-path pairs measured
+here (``compile_mask`` vs ``Mask.apply``, ``meta_product_streaming``
+vs ``meta_product``) are exactly the oracle registrations soundlint's
+SL005 rule keeps honest — delete a differential test and the lint
+gate, not just this harness, fails.  Fixtures here stay annotation-
+light because ``benchmarks/`` is outside ``src/repro`` and therefore
+outside the SL007/mypy strict scope; anything promoted into the
+package must arrive fully annotated.
 """
 
 from __future__ import annotations

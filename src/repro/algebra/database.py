@@ -21,7 +21,7 @@ from repro.errors import SchemaError, UnknownRelationError
 class Database:
     """A database schema together with an instance of every relation."""
 
-    def __init__(self, schema: DatabaseSchema):
+    def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
         self._instances: Dict[str, Relation] = {
             rel.name: Relation.from_schema(rel, ()) for rel in schema

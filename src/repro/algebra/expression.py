@@ -247,10 +247,10 @@ class PSJQuery:
 
 def _check_condition_domains(condition: AtomicCondition,
                              product: Sequence[Column]) -> None:
-    from repro.algebra.types import domain_of_value
+    from repro.algebra.types import Domain, domain_of_value
     from repro.errors import TypeMismatchError
 
-    def domain_of(operand: Operand):
+    def domain_of(operand: Operand) -> Domain:
         if isinstance(operand, Col):
             return product[operand.index].domain
         return domain_of_value(operand.value)

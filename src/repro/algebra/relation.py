@@ -52,7 +52,7 @@ class Relation:
     __slots__ = ("columns", "rows", "_row_set")
 
     def __init__(self, columns: Sequence[Column], rows: Iterable[Row],
-                 validate: bool = True):
+                 validate: bool = True) -> None:
         self.columns: Tuple[Column, ...] = tuple(columns)
         deduped: List[Row] = []
         seen = set()

@@ -1,0 +1,45 @@
+"""``soundlint``: a soundness-invariant static analyzer for the engine.
+
+The test suite can only *sample* the invariants the engine's value
+rests on; this package makes them unskippable at merge time by checking
+them syntactically over the whole tree (cf. Guarnieri et al., "Strong
+and Provably Secure Database Access Control": enforcement mechanisms
+want machine-checked guarantees, not just tests).  The rules:
+
+========  ==========================================================
+SL001     broad ``except`` only at registered fail-closed boundaries
+SL002     every meta-algebra operator charges the ``Budget``
+SL003     operators never mutate ``MaskTable``/``Mask``/``MetaTuple``
+          parameters
+SL004     cache/canonical key construction is deterministic
+SL005     every compiled/streaming fast path has a registered
+          reference oracle and a differential test
+SL006     examples and workloads never read relations around
+          ``engine.authorize``
+SL007     strict annotation coverage (the offline face of the
+          ``mypy --strict`` CI gate)
+========  ==========================================================
+
+``docs/STATIC_ANALYSIS.md`` documents each rule, the invariant it
+encodes and the paper section it protects, the suppression syntax, and
+how to add a rule.  Run the analyzer with ``repro-soundlint`` (console
+script) or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import (
+    Report,
+    SourceFile,
+    Violation,
+    all_rules,
+    run_paths,
+)
+
+__all__ = [
+    "Report",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "run_paths",
+]

@@ -1,0 +1,94 @@
+"""The ``repro-soundlint`` command line.
+
+Usage::
+
+    repro-soundlint [PATH ...] [--format human|json]
+                    [--select SL001,SL002] [--ignore SL006]
+                    [--list-rules]
+
+With no paths, analyzes ``src`` and ``examples`` under the current
+directory (the repository layout).  Exit status: 0 clean, 1 when any
+violation is reported, 2 for usage errors — so CI can gate merges on
+the analyzer directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import all_rules, run_paths
+
+
+def _split_rules(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-soundlint",
+        description="soundness-invariant static analyzer for the "
+                    "repro engine",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", default=None,
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for info in sorted(all_rules().values(), key=lambda r: r.id):
+            print(f"{info.id}  {info.title}\n       {info.rationale}")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    if not paths:
+        paths = [p for p in (Path("src"), Path("examples"))
+                 if p.exists()]
+        if not paths:
+            parser.error("no paths given and no src/examples found")
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(
+            "no such path: " + ", ".join(str(p) for p in missing)
+        )
+
+    report = run_paths(
+        paths,
+        select=_split_rules(options.select),
+        ignore=_split_rules(options.ignore),
+    )
+    if options.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_human())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

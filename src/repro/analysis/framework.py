@@ -1,0 +1,377 @@
+"""The soundlint rule framework.
+
+Rules are small functions registered with the :func:`rule` decorator.
+A *file rule* receives one :class:`SourceFile` at a time; a *project
+rule* receives the whole :class:`Context` once (for cross-file
+invariants such as oracle parity).  Both yield :class:`Violation`
+records, which the runner filters through the suppression comments and
+renders as human-readable lines or JSON.
+
+Suppression syntax (checked per rule ID, reason optional but
+encouraged):
+
+* ``# soundlint: disable=SL006 -- reason`` on the line the violation
+  is reported at (the flagged statement's *first* line);
+* ``# soundlint: disable-file=SL001,SL002`` anywhere in the file.
+
+The analyzer itself fails closed: a file that cannot be read or parsed
+is reported as an ``SL000`` violation rather than silently skipped —
+an unanalyzable file must not pass the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+#: Rule ID reserved for files the analyzer could not read or parse.
+PARSE_RULE = "SL000"
+
+#: Either flavour of function definition node.
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*soundlint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+)
+
+
+def _comments(text: str) -> List[Tuple[int, str]]:
+    """(line, text) for every comment token in ``text``.
+
+    Files that do not tokenize are handled by the SL000 parse gate;
+    they have no effective suppressions.
+    """
+    found: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                found.append((token.start[0], token.string))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    return found
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed python file plus its suppression directives."""
+
+    def __init__(self, path: Path, root: Path, text: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.root = root
+        self.text = text
+        self.tree = tree
+        #: Dotted module name (``repro.core.engine``; files outside
+        #: ``src`` key by their root-relative path, e.g.
+        #: ``examples.quickstart``).
+        self.module = module_name(path, root)
+        #: Root-relative posix path used in reports.
+        self.relative = relative_path(path, root)
+        self.line_disables: Dict[int, FrozenSet[str]] = {}
+        self.file_disables: FrozenSet[str] = frozenset()
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        # Tokenize so only *comments* count — a docstring that merely
+        # documents the suppression syntax must not disable anything.
+        file_rules: set = set()
+        for number, comment in _comments(self.text):
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = frozenset(
+                r.strip() for r in match.group("rules").split(",")
+            )
+            if match.group(1) == "disable-file":
+                file_rules |= rules
+            else:
+                self.line_disables[number] = (
+                    self.line_disables.get(number, frozenset()) | rules
+                )
+        self.file_disables = frozenset(file_rules)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_disables:
+            return True
+        return rule_id in self.line_disables.get(line, frozenset())
+
+    # -- convenience accessors used by several rules -------------------
+
+    def functions(self) -> Iterator[Tuple[str, FunctionNode]]:
+        """Every function with its dotted qualname (``Class.method``)."""
+
+        def walk(body: Sequence[ast.stmt],
+                 prefix: str) -> Iterator[Tuple[str, FunctionNode]]:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    name = f"{prefix}{node.name}"
+                    yield name, node
+                    yield from walk(node.body, f"{name}.")
+                elif isinstance(node, ast.ClassDef):
+                    yield from walk(node.body, f"{prefix}{node.name}.")
+
+        return walk(self.tree.body, "")
+
+    def violation(self, rule_id: str, node: ast.AST,
+                  message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        return Violation(rule_id, self.relative, line, message)
+
+
+@dataclass
+class Context:
+    """Everything a project-scope rule may inspect."""
+
+    root: Path
+    sources: List[SourceFile]
+
+    def by_module(self, module: str) -> Optional[SourceFile]:
+        for source in self.sources:
+            if source.module == module:
+                return source
+        return None
+
+
+#: Signature of a file-scope rule check.
+FileCheck = Callable[[SourceFile], Iterable[Violation]]
+#: Signature of a project-scope rule check.
+ProjectCheck = Callable[[Context], Iterable[Violation]]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """A registered rule: identity, documentation, and its check."""
+
+    id: str
+    title: str
+    rationale: str
+    scope: str  # "file" | "project"
+    check: Callable[..., Iterable[Violation]]
+
+
+_RULES: Dict[str, RuleInfo] = {}
+
+
+def rule(rule_id: str, title: str, rationale: str,
+         scope: str = "file") -> Callable[
+             [Callable[..., Iterable[Violation]]],
+             Callable[..., Iterable[Violation]]]:
+    """Register a check function under ``rule_id``.
+
+    ``scope`` is ``"file"`` (check called once per source file) or
+    ``"project"`` (called once with the whole :class:`Context`).
+    """
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def register(check: Callable[..., Iterable[Violation]]
+                 ) -> Callable[..., Iterable[Violation]]:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _RULES[rule_id] = RuleInfo(rule_id, title, rationale, scope,
+                                   check)
+        return check
+
+    return register
+
+
+def all_rules() -> Dict[str, RuleInfo]:
+    """The registered rules (importing the built-in rule modules)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(_RULES)
+
+
+# ----------------------------------------------------------------------
+# path helpers
+# ----------------------------------------------------------------------
+
+
+def module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path``, anchored at ``src`` when present."""
+    try:
+        parts = list(path.resolve().relative_to(root.resolve()).parts)
+    except ValueError:
+        parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    dotted = [p for p in parts[:-1]] + [path.stem]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def relative_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def find_root(paths: Sequence[Path]) -> Path:
+    """The repository root: the nearest ancestor holding ``src``."""
+    for candidate in paths:
+        probe = candidate.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        while True:
+            if (probe / "src").is_dir() or probe.name == "src":
+                return probe if probe.name != "src" else probe.parent
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+    return Path.cwd()
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # Stable order, no duplicates.
+    seen: set = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render_human(self) -> str:
+        lines = [v.render() for v in self.violations]
+        noun = "violation" if len(self.violations) == 1 else "violations"
+        lines.append(
+            f"soundlint: {len(self.violations)} {noun} in "
+            f"{self.files_scanned} files ({self.suppressed} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "files_scanned": self.files_scanned,
+                "suppressed": self.suppressed,
+                "violations": [v.to_json() for v in self.violations],
+            },
+            indent=2,
+        )
+
+
+def load_source(path: Path, root: Path) -> Tuple[Optional[SourceFile],
+                                                 Optional[Violation]]:
+    """Parse one file, failing closed into an SL000 violation."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", None) or 1
+        return None, Violation(
+            PARSE_RULE, relative_path(path, root), int(line),
+            f"file could not be analyzed: {error}",
+        )
+    return SourceFile(path, root, text, tree), None
+
+
+def run_paths(paths: Sequence[Path],
+              select: Optional[Iterable[str]] = None,
+              ignore: Optional[Iterable[str]] = None,
+              root: Optional[Path] = None) -> Report:
+    """Analyze every python file under ``paths`` with the active rules."""
+    rules = all_rules()
+    chosen = {
+        info.id: info for info in rules.values()
+        if (select is None or info.id in set(select))
+        and (ignore is None or info.id not in set(ignore))
+    }
+    root = root if root is not None else find_root(list(paths))
+    report = Report()
+    sources: List[SourceFile] = []
+    for path in collect_files(paths):
+        source, failure = load_source(path, root)
+        report.files_scanned += 1
+        if failure is not None:
+            report.violations.append(failure)
+            continue
+        assert source is not None
+        sources.append(source)
+
+    context = Context(root=root, sources=sources)
+    raw: List[Violation] = []
+    for info in chosen.values():
+        if info.scope == "file":
+            for source in sources:
+                raw.extend(info.check(source))
+        else:
+            raw.extend(info.check(context))
+
+    by_path = {source.relative: source for source in sources}
+    for violation in raw:
+        source = by_path.get(violation.path)
+        if source is not None and source.suppressed(violation.rule,
+                                                    violation.line):
+            report.suppressed += 1
+            continue
+        report.violations.append(violation)
+
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

@@ -1,0 +1,147 @@
+"""The invariant registry soundlint checks the tree against.
+
+Everything deliberately *allowed* to look dangerous is registered here,
+by name, in one reviewable place: the fail-closed exception boundaries,
+the compiled/streaming fast paths with their reference oracles, and the
+module sets each rule patrols.  Widening an entry is a reviewable act;
+code that merely drifts does not get to widen it implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+# ----------------------------------------------------------------------
+# SL001 — fail-closed exception discipline
+# ----------------------------------------------------------------------
+
+#: ``module:qualname`` of the only functions allowed to catch broad
+#: ``Exception``: the engine's two authorize boundaries and the
+#: degradation ladder's rung loop.  Everything else must narrow to
+#: :class:`~repro.errors.ReproError` subtypes or re-raise.
+FAIL_CLOSED_BOUNDARIES: FrozenSet[str] = frozenset({
+    "repro.core.engine:AuthorizationEngine.authorize",
+    "repro.core.engine:AuthorizationEngine.authorize_batch",
+    "repro.metaalgebra.ladder:derive_mask_resilient",
+})
+
+# ----------------------------------------------------------------------
+# SL002 — budget coverage
+# ----------------------------------------------------------------------
+
+#: Modules whose public operators must charge the derivation
+#: :class:`~repro.metaalgebra.budget.Budget` before returning
+#: materialized rows.
+BUDGETED_MODULES: FrozenSet[str] = frozenset({
+    "repro.metaalgebra.product",
+    "repro.metaalgebra.selection",
+    "repro.metaalgebra.projection",
+    "repro.metaalgebra.selfjoin",
+    "repro.metaalgebra.prune",
+})
+
+#: Budget methods that count as charging (row/pool caps).
+BUDGET_CHARGES: FrozenSet[str] = frozenset({
+    "charge_rows", "charge_selfjoin",
+})
+
+# ----------------------------------------------------------------------
+# SL003 — meta-table immutability
+# ----------------------------------------------------------------------
+
+#: Parameter types operators must treat as immutable.
+IMMUTABLE_TYPES: FrozenSet[str] = frozenset({
+    "MaskTable", "MaskRow", "Mask", "MetaTuple", "MetaCell",
+})
+
+#: Module prefixes the immutability rule patrols.
+IMMUTABLE_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro.metaalgebra.",
+    "repro.core.mask",
+    "repro.core.compiled_mask",
+)
+
+#: Method names that mutate their receiver.
+MUTATOR_METHODS: FrozenSet[str] = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+})
+
+# ----------------------------------------------------------------------
+# SL004 — determinism of cache/canonical keys
+# ----------------------------------------------------------------------
+
+#: Modules whose outputs become cache keys and must be deterministic
+#: across processes and runs.
+DETERMINISTIC_MODULES: FrozenSet[str] = frozenset({
+    "repro.metaalgebra.canonical",
+    "repro.core.cache",
+})
+
+#: Modules whose mere import is a nondeterminism smell in key code.
+NONDETERMINISTIC_IMPORTS: FrozenSet[str] = frozenset({
+    "random", "uuid", "secrets", "time", "datetime",
+})
+
+# ----------------------------------------------------------------------
+# SL005 — oracle parity for fast paths
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleEntry:
+    """A fast path's reference implementation and differential test."""
+
+    oracle: str  # dotted qualname of the reference implementation
+    test: str    # repo-relative path of the differential test module
+
+
+#: Every compiled/streaming fast path must appear here, paired with the
+#: interpreted/materializing oracle it must stay byte-identical to and
+#: the differential suite that enforces the identity.
+FAST_PATHS: Dict[str, OracleEntry] = {
+    "repro.core.compiled_mask.compile_mask": OracleEntry(
+        oracle="repro.core.mask.Mask.apply",
+        test="tests/property/test_compiled_mask.py",
+    ),
+    "repro.metaalgebra.product.meta_product_streaming": OracleEntry(
+        oracle="repro.metaalgebra.product.meta_product",
+        test="tests/property/test_streaming_product.py",
+    ),
+}
+
+#: Name shapes that mark a module-level function as a fast path in
+#: need of registration (checked against public names only).  The
+#: calculus *compilers* (``compile_query`` — AST to plan) are not fast
+#: paths, so plain ``compile_`` is not a marker; a fast path announces
+#: itself either by name or by living in a marked module (below).
+FAST_PATH_MARKERS: Tuple[str, ...] = ("compiled", "streaming")
+
+#: Modules that *contain* fast paths: every public ``compile_*`` /
+#: ``*_streaming`` function defined here must be registered.
+FAST_PATH_MODULES: FrozenSet[str] = frozenset({
+    "repro.core.compiled_mask",
+    "repro.metaalgebra.product",
+})
+
+# ----------------------------------------------------------------------
+# SL006 — no authorize bypass in examples/workloads
+# ----------------------------------------------------------------------
+
+#: Module prefixes that must route every data read through
+#: ``engine.authorize`` (demo and workload code is what readers copy).
+AUTHORIZE_ONLY_PREFIXES: Tuple[str, ...] = (
+    "examples.",
+    "repro.workloads.",
+)
+
+#: Direct evaluation entry points that bypass the mask.
+BYPASS_CALLS: FrozenSet[str] = frozenset({
+    "evaluate", "evaluate_optimized",
+})
+
+#: Imports that put a bypass in reach.
+BYPASS_IMPORTS: FrozenSet[str] = frozenset({
+    "repro.algebra.evaluate", "repro.algebra.optimize",
+})

@@ -1,0 +1,13 @@
+"""Built-in soundlint rules (imported for registration side effects)."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401
+    budgets,
+    bypass,
+    determinism,
+    exceptions,
+    immutability,
+    oracles,
+    typing_gate,
+)

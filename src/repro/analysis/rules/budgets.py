@@ -1,0 +1,90 @@
+"""SL002 — budget coverage of the meta-algebra operators.
+
+The resilience layer's guarantee (docs/RESILIENCE.md) is only as
+strong as its weakest operator: a single unmetered operator lets one
+query materialize unbounded meta-tuples and starve every other request
+before the degradation ladder can step in.  Every public operator in
+the five meta-algebra modules — a module-level function that returns
+mask rows (``MaskTable`` or a tuple of ``MetaTuple``) — must therefore
+accept a ``budget`` parameter and charge it
+(``charge_rows``/``charge_selfjoin``) on the rows it materializes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.framework import (
+    FunctionNode,
+    SourceFile,
+    Violation,
+    rule,
+)
+from repro.analysis.registry import BUDGET_CHARGES, BUDGETED_MODULES
+
+
+_ROW_RETURN = re.compile(r"MaskTable|[Tt]uple\[MetaTuple")
+
+
+def _returns_rows(node: FunctionNode) -> bool:
+    """Does the annotated return type carry a *set* of mask rows?
+
+    ``MaskTable`` and ``Tuple[MetaTuple, ...]`` are operator outputs;
+    a single ``Optional[MetaTuple]`` (e.g. a row combiner) is not a
+    materialization site.
+    """
+    if node.returns is None:
+        return False
+    return _ROW_RETURN.search(ast.unparse(node.returns)) is not None
+
+
+def _budget_param(node: FunctionNode) -> Optional[ast.arg]:
+    for arg in (node.args.posonlyargs + node.args.args
+                + node.args.kwonlyargs):
+        if arg.arg == "budget":
+            return arg
+    return None
+
+
+def _charges_budget(node: FunctionNode) -> bool:
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in BUDGET_CHARGES
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id == "budget"):
+            return True
+    return False
+
+
+@rule(
+    "SL002",
+    "budget coverage",
+    "every public meta-algebra operator accepts and charges the "
+    "derivation Budget before materializing rows",
+)
+def check_budgets(source: SourceFile) -> Iterator[Violation]:
+    if source.module not in BUDGETED_MODULES:
+        return
+    for node in source.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_") or not _returns_rows(node):
+            continue
+        if _budget_param(node) is None:
+            yield source.violation(
+                "SL002", node,
+                f"operator {node.name!r} returns mask rows but takes no "
+                f"'budget' parameter; unmetered operators break the "
+                f"resource-budget guarantee",
+            )
+            continue
+        if not _charges_budget(node):
+            yield source.violation(
+                "SL002", node,
+                f"operator {node.name!r} never charges its budget "
+                f"(expected a budget.charge_rows/charge_selfjoin call "
+                f"on the rows it materializes)",
+            )

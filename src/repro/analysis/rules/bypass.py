@@ -1,0 +1,71 @@
+"""SL006 — no direct relation reads around ``engine.authorize``.
+
+Examples and workload scenarios are the code readers copy.  A demo
+that reads ``database.instance(...)`` or evaluates a plan directly
+delivers *unmasked* rows — precisely the bypass the paper's Figure 2
+architecture exists to prevent (queries address the base relations,
+but every answer passes through the mask).  In ``examples/`` and
+``repro.workloads``, data must flow through ``engine.authorize``;
+construction-time access (building instances) is suppressible with a
+justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import SourceFile, Violation, rule
+from repro.analysis.registry import (
+    AUTHORIZE_ONLY_PREFIXES,
+    BYPASS_CALLS,
+    BYPASS_IMPORTS,
+)
+
+
+@rule(
+    "SL006",
+    "no authorize bypass",
+    "examples/workloads never read relations or evaluate plans "
+    "directly; every data read flows through engine.authorize",
+)
+def check_bypass(source: SourceFile) -> Iterator[Violation]:
+    if not source.module.startswith(AUTHORIZE_ONLY_PREFIXES):
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and \
+                node.module in BYPASS_IMPORTS:
+            yield source.violation(
+                "SL006", node,
+                f"import from {node.module!r} reaches around the mask; "
+                f"examples and workloads must go through "
+                f"engine.authorize",
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in BYPASS_CALLS:
+                yield source.violation(
+                    "SL006", node,
+                    f"direct call to {func.id!r} evaluates a plan "
+                    f"without the mask; use engine.authorize",
+                )
+            elif (isinstance(func, ast.Attribute)
+                  and func.attr == "instance"
+                  and len(node.args) == 1
+                  and not node.keywords
+                  and not (isinstance(func.value, ast.Name)
+                           and func.value.id == "self")):
+                yield source.violation(
+                    "SL006", node,
+                    "direct Database.instance(...) read bypasses "
+                    "engine.authorize; deliver data through the mask "
+                    "(suppress with a justification for "
+                    "construction-time access)",
+                )
+            elif (isinstance(func, ast.Attribute)
+                  and func.attr in BYPASS_CALLS):
+                yield source.violation(
+                    "SL006", node,
+                    f"call to {ast.unparse(func)!r} evaluates a plan "
+                    f"without the mask; use engine.authorize",
+                )

@@ -1,0 +1,91 @@
+"""SL001 — fail-closed exception discipline.
+
+The fail-closed contract (docs/RESILIENCE.md) concentrates *all*
+catch-everything handling at two places: the engine's authorize
+boundaries and the degradation ladder's rung loop.  A broad ``except``
+anywhere else either swallows a genuine fault before the boundary can
+fail closed, or quietly converts a soundness bug into a wrong answer.
+Interior code must narrow to :class:`~repro.errors.ReproError`
+subtypes (typed, expected failures) or re-raise unconditionally
+(cleanup handlers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.framework import SourceFile, Violation, rule
+from repro.analysis.registry import FAIL_CLOSED_BOUNDARIES
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The broad exception name a handler catches, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body end in an unconditional bare ``raise``?"""
+    if not handler.body:
+        return False
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
+
+
+def _handlers_with_owner(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.ExceptHandler, Optional[str]]]:
+    """Every except handler with its innermost enclosing qualname."""
+
+    def walk(node: ast.AST, owner: Optional[str]) -> Iterator[
+            Tuple[ast.ExceptHandler, Optional[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = f"{owner}.{child.name}" if owner else child.name
+                yield from walk(child, name)
+            elif isinstance(child, ast.ExceptHandler):
+                yield child, owner
+                yield from walk(child, owner)
+            else:
+                yield from walk(child, owner)
+
+    return walk(source.tree, None)
+
+
+@rule(
+    "SL001",
+    "fail-closed exception discipline",
+    "broad excepts only at registered fail-closed boundaries; interior "
+    "code narrows to ReproError subtypes or re-raises",
+)
+def check_exceptions(source: SourceFile) -> Iterator[Violation]:
+    if not source.module.startswith("repro."):
+        return
+    for handler, owner in _handlers_with_owner(source):
+        caught = _broad_name(handler.type)
+        if caught is None:
+            continue
+        if owner is not None and \
+                f"{source.module}:{owner}" in FAIL_CLOSED_BOUNDARIES:
+            continue
+        if _reraises(handler):
+            continue
+        where = f"in {owner!r}" if owner else "at module level"
+        yield source.violation(
+            "SL001", handler,
+            f"broad '{caught}' {where} is not a registered fail-closed "
+            f"boundary; narrow to ReproError subtypes or re-raise "
+            f"(registry: repro.analysis.registry.FAIL_CLOSED_BOUNDARIES)",
+        )

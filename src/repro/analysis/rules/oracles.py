@@ -1,0 +1,137 @@
+"""SL005 — oracle parity for compiled/streaming fast paths.
+
+Every optimization PR keeps the interpreted/materializing reference
+path alive as an *oracle* and proves the fast path byte-identical to it
+with a differential suite (docs/PERFORMANCE.md).  That discipline only
+holds if it is checkable: this rule requires every fast path —
+registered in :data:`repro.analysis.registry.FAST_PATHS`, discovered by
+name shape otherwise — to (a) exist, (b) name an oracle that exists,
+and (c) name a differential test file that exists and exercises both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.framework import Context, SourceFile, Violation, rule
+from repro.analysis.registry import (
+    FAST_PATH_MARKERS,
+    FAST_PATH_MODULES,
+    FAST_PATHS,
+)
+
+
+def _resolve(context: Context, dotted: str) -> Tuple[
+        Optional[SourceFile], Optional[ast.AST]]:
+    """Find the def/class a dotted qualname points at."""
+    parts = dotted.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:split])
+        source = context.by_module(module)
+        if source is None:
+            continue
+        remainder = parts[split:]
+        node: ast.AST = source.tree
+        for name in remainder:
+            body = getattr(node, "body", [])
+            node_next = None
+            for child in body:
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)) \
+                        and child.name == name:
+                    node_next = child
+                    break
+            if node_next is None:
+                return source, None
+            node = node_next
+        return source, node
+    return None, None
+
+
+def _anchor(context: Context, module: str) -> Violation:
+    """A fallback violation location for registry-level problems."""
+    source = context.by_module(module)
+    if source is not None:
+        return Violation("SL005", source.relative, 1, "")
+    return Violation("SL005", "src", 1, "")
+
+
+def _is_fast_path(module: str, name: str) -> bool:
+    if any(marker in name for marker in FAST_PATH_MARKERS):
+        return True
+    return module in FAST_PATH_MODULES and (
+        name.startswith("compile_") or name.endswith("_streaming")
+    )
+
+
+@rule(
+    "SL005",
+    "oracle parity",
+    "every compiled/streaming fast path has a registered reference "
+    "oracle and a differential test exercising both",
+    scope="project",
+)
+def check_oracles(context: Context) -> Iterator[Violation]:
+    for fast_path, entry in FAST_PATHS.items():
+        source, node = _resolve(context, fast_path)
+        if source is None:
+            # The fast path's module is outside this run's paths
+            # (e.g. a rule-fixture tree); nothing to check against.
+            continue
+        if node is None:
+            yield Violation(
+                "SL005", source.relative, 1,
+                f"registered fast path {fast_path!r} no longer exists; "
+                f"update repro.analysis.registry.FAST_PATHS",
+            )
+            continue
+        oracle_source, oracle_node = _resolve(context, entry.oracle)
+        if oracle_source is None or oracle_node is None:
+            yield Violation(
+                "SL005", source.relative, getattr(node, "lineno", 1),
+                f"oracle {entry.oracle!r} for fast path {fast_path!r} "
+                f"does not exist; a fast path without a live reference "
+                f"implementation cannot be differentially tested",
+            )
+        test_path = context.root / entry.test
+        if not test_path.is_file():
+            yield Violation(
+                "SL005", source.relative, getattr(node, "lineno", 1),
+                f"differential test {entry.test!r} for fast path "
+                f"{fast_path!r} is missing",
+            )
+            continue
+        text = test_path.read_text(encoding="utf-8")
+        fast_leaf = fast_path.rsplit(".", 1)[-1]
+        oracle_leaf = entry.oracle.rsplit(".", 1)[-1]
+        if fast_leaf not in text or oracle_leaf not in text:
+            yield Violation(
+                "SL005", source.relative, getattr(node, "lineno", 1),
+                f"differential test {entry.test!r} does not exercise "
+                f"both {fast_leaf!r} and its oracle {oracle_leaf!r}",
+            )
+
+    # Discovery: fast-path-shaped public functions must be registered.
+    for source in context.sources:
+        if not source.module.startswith("repro.") or \
+                source.module.startswith("repro.analysis"):
+            continue
+        for node in source.tree.body:
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not _is_fast_path(source.module, node.name):
+                continue
+            qualname = f"{source.module}.{node.name}"
+            if qualname not in FAST_PATHS:
+                yield source.violation(
+                    "SL005", node,
+                    f"{qualname!r} looks like a compiled/streaming fast "
+                    f"path but has no registered oracle; add it to "
+                    f"repro.analysis.registry.FAST_PATHS with a "
+                    f"differential test",
+                )

@@ -26,11 +26,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.algebra.database import Database
-from repro.algebra.expression import AtomicCondition, Col, Const, PSJQuery
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    Operand,
+    PSJQuery,
+)
 from repro.algebra.optimize import evaluate_optimized
 from repro.algebra.relation import Row
+from repro.algebra.schema import RelationSchema
 from repro.baselines.interface import Decision, Outcome
-from repro.calculus.ast import AttrRef, Condition, ConstTerm, Query
+from repro.calculus.ast import AttrRef, Condition, ConstTerm, Query, Term
 from repro.calculus.to_algebra import compile_query
 from repro.errors import SchemaError
 from repro.lang.parser import parse_statement
@@ -57,7 +64,7 @@ class IngresModel:
 
     name = "INGRES"
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database) -> None:
         self.database = database
         self._permissions: Dict[str, List[IngresPermission]] = {}
 
@@ -181,8 +188,9 @@ class IngresModel:
         return True
 
 
-def _to_atomic(condition: Condition, schema, offset: int) -> AtomicCondition:
-    def operand(term):
+def _to_atomic(condition: Condition, schema: RelationSchema,
+               offset: int) -> AtomicCondition:
+    def operand(term: Term) -> Operand:
         if isinstance(term, AttrRef):
             return Col(offset + schema.index_of(term.attribute))
         assert isinstance(term, ConstTerm)

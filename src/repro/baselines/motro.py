@@ -14,7 +14,7 @@ class MotroModel:
 
     name = "Motro"
 
-    def __init__(self, engine: AuthorizationEngine):
+    def __init__(self, engine: AuthorizationEngine) -> None:
         self.engine = engine
 
     def authorize_query(self, user: str,

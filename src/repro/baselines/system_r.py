@@ -47,7 +47,7 @@ class SystemRModel:
 
     name = "System R"
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database) -> None:
         self.database = database
         self._owners: Dict[str, str] = {}
         self._views: Dict[str, ViewDefinition] = {}

@@ -73,7 +73,7 @@ class _Matcher:
     """Backtracking search for a containment homomorphism Q2 -> Q1."""
 
     def __init__(self, q1: NormalizedView, q2: NormalizedView,
-                 schema: DatabaseSchema):
+                 schema: DatabaseSchema) -> None:
         self.q1 = q1
         self.q2 = q2
         self.t1 = _terms_of(q1)
@@ -181,7 +181,7 @@ class _Matcher:
                 return False
         return True
 
-    def _q1_interval(self, value) -> Interval:
+    def _q1_interval(self, value: object) -> Interval:
         """Q1's interval on a variable; blank-variables are free."""
         if isinstance(value, str):
             return self.q1.store.interval_for(value)

@@ -31,7 +31,7 @@ from repro.algebra.expression import (
     PSJQuery,
 )
 from repro.algebra.schema import DatabaseSchema
-from repro.algebra.types import Value
+from repro.algebra.types import Domain, Value
 from repro.calculus.ast import (
     AttrRef,
     ConstTerm,
@@ -194,7 +194,7 @@ def _interval_conditions(position: int,
 class _UnionFind:
     """Union-find over product positions."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self.parent = list(range(size))
 
     def find(self, x: int) -> int:
@@ -415,8 +415,8 @@ def _pin(uf: _UnionFind, pinned: Dict[int, Value], position: int,
 
 
 def _product_domains(occurrences: Sequence[Occurrence],
-                     schema: DatabaseSchema):
-    domains = []
+                     schema: DatabaseSchema) -> List[Domain]:
+    domains: List[Domain] = []
     for occ in occurrences:
         domains.extend(a.domain for a in schema.get(occ.relation).attributes)
     return domains

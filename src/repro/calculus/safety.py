@@ -19,6 +19,7 @@ from repro.calculus.ast import (
     Condition,
     ConstTerm,
     Query,
+    Term,
     ViewDefinition,
 )
 from repro.errors import SafetyError, TypeMismatchError
@@ -101,7 +102,7 @@ def _check_condition(condition: Condition, schema: DatabaseSchema) -> None:
         )
 
 
-def _domain_of_term(term, schema: DatabaseSchema) -> Domain:
+def _domain_of_term(term: Term, schema: DatabaseSchema) -> Domain:
     if isinstance(term, AttrRef):
         return schema.get(term.relation).domain_of(term.attribute)
     assert isinstance(term, ConstTerm)

@@ -52,7 +52,7 @@ class Repl:
     """Line-oriented front end; pure functions of input lines, so the
     same class drives the terminal and the tests."""
 
-    def __init__(self, engine: AuthorizationEngine, user: str = "admin"):
+    def __init__(self, engine: AuthorizationEngine, user: str = "admin") -> None:
         self.engine = engine
         self.front_end = FrontEnd(engine)
         self.user = user

@@ -49,7 +49,7 @@ class AuditRecord:
 class AuditLog:
     """An append-only, in-memory audit trail."""
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         #: Oldest records are dropped beyond ``capacity`` (None = keep all).
         self.capacity = capacity
         self._records: List[AuditRecord] = []

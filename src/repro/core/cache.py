@@ -99,7 +99,7 @@ class DerivationCache:
     dropped.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[str, PlanKey], _Entry]" = \

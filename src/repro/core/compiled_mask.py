@@ -42,6 +42,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.relation import Relation, Row
 from repro.core.mask import MASKED, Mask
+from repro.meta.metatuple import MetaTuple
 from repro.predicates.intervals import Interval
 from repro.predicates.store import ConstraintStore
 
@@ -66,7 +67,7 @@ class CompiledRow:
         interval_checks: Tuple[Tuple[int, Interval], ...],
         binding_spec: Optional[Tuple[Tuple[str, int], ...]],
         store: Optional[ConstraintStore],
-    ):
+    ) -> None:
         self.star_set = star_set
         self.eq_groups = eq_groups
         self.interval_checks = interval_checks
@@ -102,7 +103,7 @@ class CompiledMask:
     def __init__(self, ncols: int, always_visible: FrozenSet[int],
                  groups: Tuple[
                      Tuple[Tuple[int, ...],
-                           Dict[Tuple, List[CompiledRow]]], ...]):
+                           Dict[Tuple, List[CompiledRow]]], ...]) -> None:
         self.ncols = ncols
         self.always_visible = always_visible
         self.groups = groups
@@ -169,7 +170,7 @@ class CompiledMask:
         return tuple(delivered)
 
 
-def _compile_row(meta, store: ConstraintStore) -> Optional[
+def _compile_row(meta: MetaTuple, store: ConstraintStore) -> Optional[
         Tuple[Tuple[Tuple[int, ...], Tuple], CompiledRow]]:
     """Lower one mask row; ``None`` when it can never deliver a cell.
 

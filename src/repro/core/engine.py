@@ -39,7 +39,7 @@ from repro.algebra.database import Database
 from repro.algebra.expression import PSJQuery
 from repro.algebra.optimize import evaluate_optimized
 from repro.algebra.relation import Relation
-from repro.calculus.ast import Query
+from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.answer import AuthorizedAnswer
@@ -47,7 +47,7 @@ from repro.core.cache import CacheStats, DerivationCache
 from repro.core.compiled_mask import CompiledMask, compile_mask
 from repro.core.mask import Mask
 from repro.core.statements import InferredPermit, infer_permits
-from repro.errors import ParseError
+from repro.errors import ParseError, ReproError
 from repro.extensions.closure import make_excuse
 from repro.lang.parser import parse_statement
 from repro.meta.catalog import PermissionCatalog
@@ -72,7 +72,7 @@ class AuthorizationEngine:
         catalog: Optional[PermissionCatalog] = None,
         config: EngineConfig = DEFAULT_CONFIG,
         audit: Optional["AuditLog"] = None,
-    ):
+    ) -> None:
         self.database = database
         self.catalog = catalog or PermissionCatalog(database.schema)
         self.config = config
@@ -103,7 +103,7 @@ class AuthorizationEngine:
     # convenience pass-throughs
     # ------------------------------------------------------------------
 
-    def define_view(self, view) -> None:
+    def define_view(self, view: Union["ViewDefinition", str]) -> None:
         """Define a view (AST or surface text)."""
         self.catalog.define_view(view)
 
@@ -353,7 +353,7 @@ class AuthorizationEngine:
                 key = self._plan_key(plan)
                 token = self.catalog.cache_token(user)
                 compiled = cache.get_compiled(user, key, token)
-            except Exception:
+            except ReproError:
                 if not self.config.fail_closed:
                     raise
                 key = token = compiled = None
@@ -361,14 +361,14 @@ class AuthorizationEngine:
                 return compiled
         try:
             compiled = compile_mask(Mask.from_table(derivation.mask))
-        except Exception:
+        except ReproError:
             if not self.config.fail_closed:
                 raise
             return None
         if key is not None and token is not None:
             try:
                 cache.put_compiled(user, key, token, compiled)
-            except Exception:
+            except ReproError:
                 if not self.config.fail_closed:
                     raise
         return compiled
@@ -416,7 +416,7 @@ class AuthorizationEngine:
         token = self.catalog.cache_token(user)
         try:
             cached = cache.get(user, key, token)
-        except Exception:
+        except ReproError:
             if not self.config.fail_closed:
                 raise
             cached = None
@@ -429,7 +429,7 @@ class AuthorizationEngine:
             # keep serving the shrunken mask after the overload passed.
             try:
                 cache.put(user, key, token, derivation)
-            except Exception:
+            except ReproError:
                 if not self.config.fail_closed:
                     raise
         return derivation, False
@@ -456,7 +456,7 @@ class AuthorizationEngine:
                 excuse = make_excuse(
                     self.catalog, admissible, plan, self.database.schema
                 )
-            except Exception:
+            except ReproError:
                 # The excuse only ever *keeps* rows the pruning would
                 # drop, so deriving without it stays sound (the mask
                 # shrinks).  Dev mode wants the traceback instead.
@@ -465,7 +465,7 @@ class AuthorizationEngine:
                 excuse = None
         try:
             selfjoin_pool = self._selfjoin_pool(user)
-        except Exception:
+        except ReproError:
             # Without the memoized pool derive_mask recomputes the
             # closure itself; a persistent fault then degrades down
             # the ladder to the no-self-join rung.

@@ -15,6 +15,7 @@ from typing import List, Union
 
 from repro.calculus.ast import Query
 from repro.core.engine import AuthorizationEngine
+from repro.errors import ReproError
 from repro.experiments.tables import (
     ascii_table,
     mask_table,
@@ -33,7 +34,7 @@ def explain(engine: AuthorizationEngine, user: str,
         # product table; the mask is identical either way.
         try:
             derivation = engine.trace(user, answer.query)
-        except Exception:
+        except ReproError:
             pass  # fall back to the streamed (post-prune) trace
     schema = engine.database.schema
     sections: List[str] = []

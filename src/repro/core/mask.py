@@ -16,7 +16,9 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from repro.algebra.relation import Column, Relation, Row
 from repro.algebra.types import Value
+from repro.meta.metatuple import MetaTuple
 from repro.metaalgebra.table import MaskRow, MaskTable
+from repro.predicates.store import ConstraintStore
 
 
 class MaskedValue:
@@ -24,7 +26,7 @@ class MaskedValue:
 
     _instance = None
 
-    def __new__(cls):
+    def __new__(cls) -> "MaskedValue":
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -40,7 +42,8 @@ class MaskedValue:
 MASKED = MaskedValue()
 
 
-def meta_tuple_matches(meta, store, values: Row) -> bool:
+def meta_tuple_matches(meta: MetaTuple, store: ConstraintStore,
+                       values: Row) -> bool:
     """Does a meta-tuple's selection condition admit a concrete tuple?
 
     Constants must equal the tuple's values; every occurrence of a
@@ -69,7 +72,8 @@ def meta_tuple_matches(meta, store, values: Row) -> bool:
     return store.satisfied_by(binding)
 
 
-def materialize_meta_tuple(meta, store, instance: Relation) -> Relation:
+def materialize_meta_tuple(meta: MetaTuple, store: ConstraintStore,
+                           instance: Relation) -> Relation:
     """The relation a meta-tuple denotes over ``instance``.
 
     "Each individual meta-tuple may be regarded as defining a subview

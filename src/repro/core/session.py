@@ -49,7 +49,7 @@ class FrontEnd:
     """Statement dispatcher: views, grants, retrievals, and updates."""
 
     def __init__(self, engine: AuthorizationEngine,
-                 strict_updates: bool = True):
+                 strict_updates: bool = True) -> None:
         self.engine = engine
         from repro.extensions.updates import UpdateAuthorizer
 
@@ -135,7 +135,7 @@ class FrontEnd:
 class Session:
     """A front end bound to one user (the paper's interactive setting)."""
 
-    def __init__(self, engine: AuthorizationEngine, user: str):
+    def __init__(self, engine: AuthorizationEngine, user: str) -> None:
         self.front_end = FrontEnd(engine)
         self.user = user
 

@@ -32,7 +32,7 @@ class TypeMismatchError(ReproError):
 class UnknownRelationError(ReproError):
     """A statement references a relation that is not in the scheme."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(f"unknown relation: {name!r}")
         self.name = name
 
@@ -40,7 +40,7 @@ class UnknownRelationError(ReproError):
 class UnknownAttributeError(ReproError):
     """A statement references an attribute missing from its relation."""
 
-    def __init__(self, relation: str, attribute: str):
+    def __init__(self, relation: str, attribute: str) -> None:
         super().__init__(f"relation {relation!r} has no attribute {attribute!r}")
         self.relation = relation
         self.attribute = attribute
@@ -49,7 +49,7 @@ class UnknownAttributeError(ReproError):
 class UnknownViewError(ReproError):
     """A permit statement references a view that was never defined."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(f"unknown view: {name!r}")
         self.name = name
 
@@ -57,7 +57,7 @@ class UnknownViewError(ReproError):
 class DuplicateViewError(ReproError):
     """A view statement reuses the name of an existing view."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(f"view already defined: {name!r}")
         self.name = name
 
@@ -69,7 +69,7 @@ class ParseError(ReproError):
     at the problem.
     """
 
-    def __init__(self, message: str, position: int = -1, line: int = -1):
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
         location = ""
         if line >= 0:
             location = f" (line {line})"
@@ -121,7 +121,7 @@ class BudgetExceededError(ReproError):
     """
 
     def __init__(self, resource: str, stage: str, observed: int,
-                 limit: int):
+                 limit: int) -> None:
         super().__init__(
             f"{resource} budget exceeded in {stage}: "
             f"{observed} > {limit}"
@@ -140,7 +140,7 @@ class DerivationTimeout(ReproError):
     resulting ``degradation_level``.
     """
 
-    def __init__(self, stage: str, deadline_ms: float):
+    def __init__(self, stage: str, deadline_ms: float) -> None:
         super().__init__(
             f"derivation deadline of {deadline_ms:g} ms overrun "
             f"during {stage}"
@@ -168,6 +168,6 @@ class FaultInjected(ReproError):
     observe is the one they injected.
     """
 
-    def __init__(self, site: str):
+    def __init__(self, site: str) -> None:
         super().__init__(f"injected fault at {site!r}")
         self.site = site

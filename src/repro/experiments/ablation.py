@@ -26,7 +26,12 @@ from repro.core.engine import AuthorizationEngine
 from repro.experiments.result import ExperimentResult
 from repro.experiments.tables import ascii_table
 from repro.meta.catalog import PermissionCatalog
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.calculus.ast import Query
+from repro.workloads.generator import (
+    Workload,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 from repro.workloads.paperdb import (
     EXAMPLE_1_QUERY,
     EXAMPLE_2_QUERY,
@@ -108,7 +113,7 @@ def _padding_example(result: ExperimentResult) -> None:
     )
 
 
-def _probe_queries(workload) -> List:
+def _probe_queries(workload: Workload) -> List["Query"]:
     """Queries derived from the workload's views.
 
     Random independent queries rarely touch the regions where the

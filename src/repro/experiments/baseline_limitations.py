@@ -18,7 +18,7 @@ paper's model is shown to remove them.
 
 from __future__ import annotations
 
-from repro.algebra.database import build_database
+from repro.algebra.database import Database, build_database
 from repro.algebra.schema import make_schema
 from repro.algebra.types import INTEGER, STRING
 from repro.baselines.ingres import IngresModel
@@ -34,7 +34,7 @@ from repro.meta.catalog import PermissionCatalog
 from repro.predicates.comparators import Comparator
 
 
-def _asymmetry_database():
+def _asymmetry_database() -> Database:
     """Relation A(A1, A2, A3) with a predicate P: A2 != u."""
     a = make_schema(
         "A", [("A1", STRING), ("A2", STRING), ("A3", INTEGER)], key=["A1"]
@@ -44,7 +44,7 @@ def _asymmetry_database():
     })
 
 
-def _window_database():
+def _window_database() -> Database:
     """Relations A and B joined by view V (the System R scenario)."""
     a = make_schema("A", [("K", STRING), ("X", INTEGER)], key=["K"])
     b = make_schema("B", [("K", STRING), ("Y", INTEGER)], key=["K"])

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.algebra.schema import DatabaseSchema
 from repro.algebra.types import INTEGER
-from repro.calculus.ast import Condition, ConstTerm, Query
+from repro.calculus.ast import Condition, ConstTerm, Query, ViewDefinition
+from repro.core.answer import AuthorizedAnswer
 from repro.calculus.containment import is_contained_in
 from repro.core.engine import AuthorizationEngine
 from repro.errors import ReproError
@@ -47,7 +49,9 @@ KINDS = ("defining", "narrowed", "projected-free",
          "projected-constrained")
 
 
-def _probes_for_view(view, schema) -> List[Tuple[str, Query, bool]]:
+def _probes_for_view(
+    view: ViewDefinition, schema: DatabaseSchema,
+) -> List[Tuple[str, Query, bool]]:
     """(kind, query, needs_containment_check) probes for ``view``.
 
     Same-arity probes (defining, narrowed) get their certificate from
@@ -115,7 +119,10 @@ def _probes_for_view(view, schema) -> List[Tuple[str, Query, bool]]:
     return probes
 
 
-def _ideal_rows_delivered(engine, view, query, answer) -> bool:
+def _ideal_rows_delivered(
+    engine: AuthorizationEngine, view: ViewDefinition,
+    query: Query, answer: "AuthorizedAnswer",
+) -> bool:
     """Does the delivery cover every row of pi_target(V)?"""
     from repro.algebra.optimize import evaluate_optimized
     from repro.calculus.to_algebra import compile_query

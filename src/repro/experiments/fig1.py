@@ -7,8 +7,9 @@ row against the figure's printed contents.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
 
+from repro.algebra.relation import Row
 from repro.experiments.result import ExperimentResult
 from repro.experiments.tables import (
     comparison_table,
@@ -82,5 +83,5 @@ def run() -> ExperimentResult:
     return result
 
 
-def _sorted_rows(rows):
+def _sorted_rows(rows: Iterable[Row]) -> Tuple[Row, ...]:
     return tuple(sorted(rows, key=lambda r: (r[0], r[1])))

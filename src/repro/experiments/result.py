@@ -61,7 +61,8 @@ class ExperimentResult:
                   detail: str = "") -> None:
         self.checks.append(Check(description, passed, detail))
 
-    def check_equal(self, description: str, actual, expected) -> None:
+    def check_equal(self, description: str, actual: object,
+                    expected: object) -> None:
         """Convenience: an equality check with a diff-style detail."""
         self.add_check(
             description,

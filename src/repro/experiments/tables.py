@@ -8,7 +8,7 @@ tables with the blank glyph, COMPARISON and PERMISSION.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.algebra.database import Database
 from repro.meta.catalog import PermissionCatalog
@@ -63,7 +63,7 @@ def figure1_table(database: Database, catalog: PermissionCatalog,
 
 
 def comparison_table(catalog: PermissionCatalog,
-                     view_names=None) -> str:
+                     view_names: Optional[Iterable[str]] = None) -> str:
     """The COMPARISON auxiliary relation."""
     rows = catalog.comparison_rows(view_names)
     return ascii_table(["VIEW", "X", "COMPARE", "Y"], rows)

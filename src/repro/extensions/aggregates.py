@@ -30,7 +30,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.containment import are_equivalent
@@ -121,7 +129,7 @@ class AggregateAnswer:
             for i, cell in enumerate(row):
                 widths[i] = max(widths[i], len(cell))
 
-        def line(cells):
+        def line(cells: Sequence[str]) -> str:
             return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
 
         out = [line(self.labels),
@@ -134,7 +142,7 @@ class AggregateAnswer:
 class AggregateAuthorizer:
     """Grants and authorizes aggregate access on top of an engine."""
 
-    def __init__(self, engine: "AuthorizationEngine"):
+    def __init__(self, engine: "AuthorizationEngine") -> None:
         self.engine = engine
         self._views: Dict[str, AggregateView] = {}
         self._grants: Dict[str, List[str]] = {}

@@ -21,11 +21,12 @@ default and switched on with ``EngineConfig(existential_closure=True)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.algebra.expression import PSJQuery
 from repro.algebra.schema import DatabaseSchema
 from repro.meta.catalog import PermissionCatalog
+from repro.meta.cell import MetaCell
 from repro.meta.metatuple import MetaTuple, TupleId
 from repro.metaalgebra.prune import ExcusePredicate
 from repro.testing.faults import maybe_fault
@@ -70,7 +71,7 @@ def make_excuse(
     return excuse
 
 
-def _subsumes(segment, missing: MetaTuple) -> bool:
+def _subsumes(segment: Sequence[MetaCell], missing: MetaTuple) -> bool:
     """Is ``missing``'s selection implied, cell for cell, by ``segment``?
 
     The missing tuple's cell must be blank or carry exactly the content

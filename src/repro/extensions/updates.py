@@ -47,7 +47,7 @@ class UpdateDecision:
 class UpdateAuthorizer:
     """Insert/delete/modify authorization over an engine's masks."""
 
-    def __init__(self, engine: "AuthorizationEngine", strict: bool = True):
+    def __init__(self, engine: "AuthorizationEngine", strict: bool = True) -> None:
         self.engine = engine
         #: In strict mode a delete/modify whose qualification matches
         #: any row the user cannot fully see is refused outright; in

@@ -136,7 +136,7 @@ class ModifyCommand:
         return text
 
 
-def _render_literal(value) -> str:
+def _render_literal(value: object) -> str:
     if isinstance(value, int) and abs(value) >= 10_000:
         return f"{value:,}"
     return str(value)
@@ -148,7 +148,7 @@ Statement = Union[ViewDefinition, Query, PermitCommand,
 
 
 class _Parser:
-    def __init__(self, tokens: Sequence[Token]):
+    def __init__(self, tokens: Sequence[Token]) -> None:
         self.tokens = tokens
         self.index = 0
 
@@ -254,7 +254,7 @@ class _Parser:
                              compare.line)
         return (attribute, self.literal())
 
-    def literal(self):
+    def literal(self) -> Union[str, int]:
         token = self.peek()
         if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
             self.advance()

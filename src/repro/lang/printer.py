@@ -12,7 +12,7 @@ formats statements the way the paper typesets them::
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import FrozenSet, List, Sequence, Union
 
 from repro.calculus.ast import (
     Condition,
@@ -63,7 +63,8 @@ def _wrap_parenthesized(head: str, items: List[str], width: int) -> List[str]:
     return lines
 
 
-def _format_conditions(conditions, multi) -> List[str]:
+def _format_conditions(conditions: Sequence[Condition],
+                       multi: FrozenSet[str]) -> List[str]:
     lines: List[str] = []
     for i, condition in enumerate(conditions):
         keyword = "where" if i == 0 else "and"
@@ -71,6 +72,7 @@ def _format_conditions(conditions, multi) -> List[str]:
     return lines
 
 
-def _render_condition_public(condition: Condition, multi=frozenset()) -> str:
+def _render_condition_public(condition: Condition,
+                             multi: FrozenSet[str] = frozenset()) -> str:
     """Exposed for the experiment renderers."""
     return _render_condition(condition, multi)

@@ -30,7 +30,7 @@ from repro.predicates.store import ConstraintStore
 class PermissionCatalog:
     """Views, their meta-tuple encodings, and user grants."""
 
-    def __init__(self, schema: DatabaseSchema):
+    def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
         self._views: Dict[str, EncodedView] = {}
         self._grants: Dict[str, List[str]] = {}  # user -> view names, in grant order

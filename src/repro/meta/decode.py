@@ -60,7 +60,7 @@ def permit_clauses(
     return columns, tuple(clauses)
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if isinstance(value, int) and abs(value) >= 10_000:
         return f"{value:,}"
     return str(value)

@@ -54,7 +54,7 @@ class Budget:
 
     def __init__(self, max_rows: int = 0, max_selfjoin_pool: int = 0,
                  deadline_ms: float = 0.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.max_rows = max_rows
         self.max_selfjoin_pool = max_selfjoin_pool
         self.deadline_ms = deadline_ms

@@ -25,9 +25,15 @@ version — the cache composes those separately.
 from __future__ import annotations
 
 from itertools import permutations, product
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.algebra.expression import Col, Const, Operand, PSJQuery
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    Operand,
+    PSJQuery,
+)
 from repro.algebra.schema import DatabaseSchema
 
 #: Give up on occurrence renumbering when a plan has more than this
@@ -89,7 +95,8 @@ def canonical_plan_key(plan: PSJQuery, schema: DatabaseSchema) -> PlanKey:
     return ("psj", occurrence_part) + best
 
 
-def _encode_condition(condition, encode_operand) -> Tuple:
+def _encode_condition(condition: AtomicCondition,
+                      encode_operand: Callable[[Operand], Tuple]) -> Tuple:
     """Orientation-normalized encoding of one conjunct."""
     forward = (encode_operand(condition.lhs), condition.op.value,
                encode_operand(condition.rhs))

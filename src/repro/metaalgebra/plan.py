@@ -170,6 +170,7 @@ def derive_mask(
             current = prune_dangling(
                 current, defining,
                 excuse if config.existential_closure else None,
+                budget=budget,
             )
 
     derivation = MaskDerivation(
@@ -181,7 +182,7 @@ def derive_mask(
         streamed=config.streaming_product,
     )
 
-    current = prune_unsatisfiable(current)
+    current = prune_unsatisfiable(current, budget=budget)
     if config.dedupe:
         current = current.deduped()
     derivation.pruned_product = current
@@ -197,5 +198,5 @@ def derive_mask(
     current = meta_project(current, psj.output, budget=budget)
     derivation.projected = current
 
-    derivation.mask = cleanup(current)
+    derivation.mask = cleanup(current, budget=budget)
     return derivation

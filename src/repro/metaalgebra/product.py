@@ -35,7 +35,15 @@ Two implementations share that combination loop:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.algebra.relation import Column
 from repro.meta.metatuple import MetaTuple, TupleId, blank_tuple, \
@@ -84,7 +92,7 @@ def meta_product(
     # Many rows share a variable set; memoize the store restriction.
     restriction_cache: dict = {}
 
-    def restricted_store(variables) -> ConstraintStore:
+    def restricted_store(variables: Iterable[str]) -> ConstraintStore:
         key = frozenset(variables)
         cached = restriction_cache.get(key)
         if cached is None:
@@ -178,7 +186,7 @@ def meta_product_streaming(
     # Many rows share a variable set; memoize the store restriction.
     restriction_cache: dict = {}
 
-    def restricted_store(variables) -> ConstraintStore:
+    def restricted_store(variables: Iterable[str]) -> ConstraintStore:
         key = frozenset(variables)
         cached = restriction_cache.get(key)
         if cached is None:

@@ -38,6 +38,10 @@ def meta_project(table: MaskTable, keep: Sequence[int],
 
     rows = []
     for row in table.rows:
+        if budget is not None:
+            budget.tick("projection")
         if all(row.meta.cells[i].is_blank for i in removed):
             rows.append(MaskRow(row.meta.project(keep), row.store))
+    if budget is not None:
+        budget.charge_rows(len(rows), "projection")
     return MaskTable(columns, tuple(rows))

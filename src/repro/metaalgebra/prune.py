@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.meta.metatuple import MetaTuple, TupleId
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.table import MaskRow, MaskTable
 from repro.testing.faults import maybe_fault
 
@@ -31,13 +32,18 @@ def prune_dangling(
     table: MaskTable,
     defining: Dict[str, FrozenSet[TupleId]],
     excuse: Optional[ExcusePredicate] = None,
+    budget: Optional[Budget] = None,
 ) -> MaskTable:
     """Drop rows containing references to absent meta-tuples."""
-    maybe_fault("prune")
+    maybe_fault("prune", budget)
     rows: List[MaskRow] = []
     for row in table.rows:
+        if budget is not None:
+            budget.tick("prune")
         if meta_is_closed(row.meta, defining, excuse):
             rows.append(row)
+    if budget is not None:
+        budget.charge_rows(len(rows), "prune")
     return table.with_rows(rows)
 
 
@@ -64,19 +70,28 @@ def meta_is_closed(
     return True
 
 
-def prune_unsatisfiable(table: MaskTable) -> MaskTable:
+def prune_unsatisfiable(table: MaskTable,
+                        budget: Optional[Budget] = None) -> MaskTable:
     """Drop rows whose constraints are provably contradictory."""
-    return table.with_rows(
+    rows = [
         row for row in table.rows if not row.store.is_definitely_unsat()
-    )
+    ]
+    if budget is not None:
+        budget.charge_rows(len(rows), "prune")
+    return table.with_rows(rows)
 
 
-def prune_invisible(table: MaskTable) -> MaskTable:
+def prune_invisible(table: MaskTable,
+                    budget: Optional[Budget] = None) -> MaskTable:
     """Drop rows with no starred cell: they deliver nothing."""
-    return table.with_rows(row for row in table.rows if row.meta.has_stars)
+    rows = [row for row in table.rows if row.meta.has_stars]
+    if budget is not None:
+        budget.charge_rows(len(rows), "prune")
+    return table.with_rows(rows)
 
 
-def cleanup(table: MaskTable) -> MaskTable:
+def cleanup(table: MaskTable,
+            budget: Optional[Budget] = None) -> MaskTable:
     """Final mask hygiene: drop invisible rows, dedupe, drop subsumed rows.
 
     A mask row is *subsumed* by another when the other stars at least
@@ -85,7 +100,7 @@ def cleanup(table: MaskTable) -> MaskTable:
     this cheap, provably sound case is removed; general subsumption is
     containment checking, which the paper's method deliberately avoids.
     """
-    table = prune_invisible(table).deduped()
+    table = prune_invisible(table, budget).deduped()
     unrestricted = [
         row for row in table.rows
         if all(c.is_blank for c in row.meta.cells)
@@ -116,4 +131,6 @@ def cleanup(table: MaskTable) -> MaskTable:
                 for kept in kept_star_sets
             ))
     ]
+    if budget is not None:
+        budget.charge_rows(len(rows), "cleanup")
     return table.with_rows(rows)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.expression import AtomicCondition, Col, Const
+from repro.algebra.types import Value
 from repro.config import EngineConfig
 from repro.meta.cell import MetaCell
 from repro.metaalgebra.budget import Budget
@@ -154,7 +155,7 @@ def meta_select(
 
 class _Selector:
     def __init__(self, table: MaskTable, step: SelectionStep,
-                 config: EngineConfig, fresh: Callable[[], str]):
+                 config: EngineConfig, fresh: Callable[[], str]) -> None:
         self.table = table
         self.step = step
         self.config = config
@@ -207,7 +208,7 @@ class _Selector:
     # -- column-vs-constant ----------------------------------------------
 
     def _select_col_const(self, row: MaskRow, index: int, op: Comparator,
-                          value) -> Optional[MaskRow]:
+                          value: Value) -> Optional[MaskRow]:
         lam = Interval.from_comparison(op, value, self._discrete(index))
         return self._select_col_interval(row, index, lam)
 
@@ -309,7 +310,8 @@ class _Selector:
             return None
         return MaskRow(row.meta, row.store.replace_interval(var, narrowed))
 
-    def _pin_cell(self, row: MaskRow, index: int, value) -> Optional[MaskRow]:
+    def _pin_cell(self, row: MaskRow, index: int,
+                  value: Value) -> Optional[MaskRow]:
         """Handle an equality with a constant: substitute throughout."""
         cell = row.meta.cells[index]
         if cell.is_constant:

@@ -93,6 +93,8 @@ def selfjoin_closure(
             break
         pool.extend(new_tuples)
         added.extend(new_tuples)
+        if budget is not None:
+            budget.charge_selfjoin(len(pool), "selfjoin")
         if len(added) >= max_tuples:
             break
 

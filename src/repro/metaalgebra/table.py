@@ -10,7 +10,7 @@ while another's is cleared), so constraints cannot stay global.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.algebra.relation import Column
 from repro.meta.metatuple import MetaTuple, canonical_key
@@ -24,7 +24,7 @@ class MaskRow:
     meta: MetaTuple
     store: ConstraintStore
 
-    def key(self, include_provenance: bool = False):
+    def key(self, include_provenance: bool = False) -> Tuple:
         """Canonical (rename-invariant) identity, computed once per variant.
 
         Dedupe and the streaming product ask the same row for its key
@@ -84,7 +84,7 @@ class MaskTable:
                 out.append(row)
         return self.with_rows(out)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MaskRow]:
         return iter(self.rows)
 
     def __len__(self) -> int:

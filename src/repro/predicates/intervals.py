@@ -162,8 +162,10 @@ class Interval:
 
     def the_point(self) -> Value:
         """The single value of a point interval."""
-        assert self.is_point
-        return self.normalized().lo  # type: ignore[return-value]
+        point = self.normalized().lo
+        if point is None or not self.is_point:
+            raise ValueError(f"{self!r} is not a point interval")
+        return point
 
     def is_empty(self) -> bool:
         """Provable emptiness (the predicate is unsatisfiable)."""

@@ -79,7 +79,7 @@ class ConstraintStore:
         self,
         intervals: Optional[Mapping[str, Interval]] = None,
         relations: Iterable[VarRelation] = (),
-    ):
+    ) -> None:
         self._intervals: Dict[str, Interval] = {
             var: iv for var, iv in (intervals or {}).items() if not iv.is_top
         }

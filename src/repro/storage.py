@@ -177,8 +177,8 @@ def dump(database: Database, catalog: PermissionCatalog,
     """
     maybe_fault("storage.write")
     text = dumps(database, catalog)
-    if hasattr(target, "write"):
-        target.write(text)  # type: ignore[union-attr]
+    if not isinstance(target, (str, Path)):
+        target.write(text)
         return
     path = Path(target)
     directory = path.parent if str(path.parent) else Path(".")
@@ -209,6 +209,6 @@ def load(source: Union[str, Path, IO[str]]
         OSError: when the path cannot be read at all.
     """
     maybe_fault("storage.read")
-    if hasattr(source, "read"):
-        return loads(source.read())  # type: ignore[union-attr]
+    if not isinstance(source, (str, Path)):
+        return loads(source.read())
     return loads(Path(source).read_text(encoding="utf-8"))

@@ -52,9 +52,20 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Union,
+)
 
 from repro.errors import FaultInjected, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metaalgebra.budget import Budget
 
 #: Sentinel substituted by the default ``corrupt`` action.
 CORRUPTED = "#corrupted#"
@@ -90,7 +101,7 @@ class FaultPlan:
     the one they injected.
     """
 
-    def __init__(self, faults: Mapping[str, Union[Fault, str]]):
+    def __init__(self, faults: Mapping[str, Union[Fault, str]]) -> None:
         self.faults: Dict[str, Fault] = {
             site: fault if isinstance(fault, Fault) else Fault(fault)
             for site, fault in faults.items()
@@ -100,7 +111,7 @@ class FaultPlan:
 
     # -- hooks ---------------------------------------------------------
 
-    def visit(self, site: str, budget=None) -> None:
+    def visit(self, site: str, budget: Optional["Budget"] = None) -> None:
         """Called by ``maybe_fault``; may raise or charge the budget."""
         self.visits[site] += 1
         fault = self.faults.get(site)
@@ -132,7 +143,7 @@ class FaultPlan:
 _PLAN: Optional[FaultPlan] = None
 
 
-def maybe_fault(site: str, budget=None) -> None:
+def maybe_fault(site: str, budget: Optional["Budget"] = None) -> None:
     """Injection point: a no-op unless a plan targets ``site``."""
     if _PLAN is not None:
         _PLAN.visit(site, budget)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.database import Database, build_database
 from repro.algebra.schema import DatabaseSchema, RelationSchema, make_schema
@@ -70,7 +70,7 @@ class WorkloadGenerator:
 
     _ORDER_OPS = (Comparator.GE, Comparator.GT, Comparator.LE, Comparator.LT)
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------
@@ -111,7 +111,8 @@ class WorkloadGenerator:
             instances[rel.name] = rows
         return build_database(list(db_schema), instances)
 
-    def _random_value(self, spec: WorkloadSpec, domain_name: str):
+    def _random_value(self, spec: WorkloadSpec,
+                      domain_name: str) -> Union[str, int]:
         if domain_name == "string":
             return f"s{self.rng.randrange(spec.string_pool)}"
         return self.rng.randrange(spec.int_range)
@@ -304,7 +305,10 @@ class WorkloadGenerator:
             {name: list(rel.rows) for name, rel in database},
         )
         relation = self.rng.choice(schemas)
-        rows = list(copy.instance(relation.name).rows)
+        # Construction-time access: this edits the *ground truth* the
+        # non-interference oracle compares against, not data shown to a
+        # user, so it must not be filtered through any mask.
+        rows = list(copy.instance(relation.name).rows)  # soundlint: disable=SL006 -- oracle ground truth, not user-visible data
         action = self.rng.choice(("edit", "insert", "delete"))
         if action == "edit" and rows:
             index = self.rng.randrange(len(rows))
