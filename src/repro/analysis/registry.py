@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Tuple
 FAIL_CLOSED_BOUNDARIES: FrozenSet[str] = frozenset({
     "repro.core.engine:AuthorizationEngine.authorize",
     "repro.core.engine:AuthorizationEngine.authorize_batch",
+    "repro.core.engine:AuthorizationEngine.authorize_degraded",
     "repro.metaalgebra.ladder:derive_mask_resilient",
 })
 

@@ -8,11 +8,17 @@ activity report or per-user summaries.
 
 The log stores no data values, only shapes, so the audit trail itself
 never widens anyone's access.
+
+Appends and reads are serialized by an internal lock, so one log can
+be shared by every worker thread of a serving engine: sequence numbers
+stay unique and gapless, capacity trimming cannot race an append, and
+readers always observe a consistent snapshot of the trail.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -54,27 +60,34 @@ class AuditLog:
         self.capacity = capacity
         self._records: List[AuditRecord] = []
         self._counter = itertools.count(1)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
 
     def record(self, answer: AuthorizedAnswer) -> AuditRecord:
-        """Append a record for ``answer`` and return it."""
-        entry = AuditRecord(
-            sequence=next(self._counter),
-            user=answer.user,
-            statement=str(answer.query),
-            admissible_views=answer.derivation.admissible_views,
-            stats=answer.stats(),
-            permit_statements=tuple(str(p) for p in answer.permits),
-            cache_hit=answer.cache_hit,
-            degradation_level=answer.degradation_level,
-            error=answer.error,
-        )
-        self._records.append(entry)
-        if self.capacity is not None and len(self._records) > self.capacity:
-            del self._records[0:len(self._records) - self.capacity]
+        """Append a record for ``answer`` and return it (thread-safe)."""
+        # The record is built outside the lock (stats() walks the
+        # delivered rows); only numbering and the append are serial.
+        stats = answer.stats()
+        permits = tuple(str(p) for p in answer.permits)
+        with self._lock:
+            entry = AuditRecord(
+                sequence=next(self._counter),
+                user=answer.user,
+                statement=str(answer.query),
+                admissible_views=answer.derivation.admissible_views,
+                stats=stats,
+                permit_statements=permits,
+                cache_hit=answer.cache_hit,
+                degradation_level=answer.degradation_level,
+                error=answer.error,
+            )
+            self._records.append(entry)
+            if self.capacity is not None \
+                    and len(self._records) > self.capacity:
+                del self._records[0:len(self._records) - self.capacity]
         return entry
 
     # ------------------------------------------------------------------
@@ -84,12 +97,15 @@ class AuditLog:
     def records(self, user: Optional[str] = None
                 ) -> Tuple[AuditRecord, ...]:
         """All records, optionally filtered by user."""
+        with self._lock:
+            snapshot = tuple(self._records)
         if user is None:
-            return tuple(self._records)
-        return tuple(r for r in self._records if r.user == user)
+            return snapshot
+        return tuple(r for r in snapshot if r.user == user)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def outcome_counts(self, user: Optional[str] = None
                        ) -> Dict[str, int]:
@@ -125,10 +141,11 @@ class AuditLog:
 
     def report(self) -> str:
         """A human-readable activity report."""
-        if not self._records:
+        entries = self.records()
+        if not entries:
             return "(no authorizations recorded)"
         lines = []
-        for entry in self._records:
+        for entry in entries:
             stats = entry.stats
             cached = " [cached]" if entry.cache_hit else ""
             degraded = (
@@ -145,7 +162,7 @@ class AuditLog:
             lines.append(f"    {entry.statement}")
         summary = self.outcome_counts()
         lines.append(
-            f"-- {len(self._records)} requests: "
+            f"-- {len(entries)} requests: "
             f"{summary['full']} full, {summary['partial']} partial, "
             f"{summary['denied']} denied; "
             f"{self.cached_count()} served from the derivation cache; "

@@ -21,13 +21,24 @@ survives a revoke would be a security hole, not a performance bug
 Control").  The differential and property suites in
 ``tests/test_derivation_cache.py`` and
 ``tests/property/test_cache_invalidation.py`` enforce the invariant.
+
+**Thread safety.**  Every public method takes the cache's internal
+lock, so lookups, stores, stats increments and LRU eviction are atomic
+with respect to each other — the serving layer
+(:mod:`repro.serving`) shares one cache between many worker threads.
+The invariant survives concurrent mutation because tokens are captured
+*before* a derivation starts: a revoke that lands mid-derivation bumps
+the live token, so the entry stored afterwards (under the stale token)
+can never be served.  ``tests/property/test_concurrent_cache.py``
+exercises exactly these interleavings.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Protocol, Tuple
 
 from repro.metaalgebra.canonical import PlanKey
 from repro.metaalgebra.plan import MaskDerivation
@@ -55,6 +66,17 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+
+    @classmethod
+    def merged(cls, parts: Iterable["CacheStats"]) -> "CacheStats":
+        """Counter-wise sum of ``parts`` (shard aggregation)."""
+        total = cls()
+        for part in parts:
+            total.hits += part.hits
+            total.misses += part.misses
+            total.invalidations += part.invalidations
+            total.evictions += part.evictions
+        return total
 
     @property
     def lookups(self) -> int:
@@ -91,17 +113,63 @@ class _Entry:
     compiled: Optional[object] = None
 
 
+class DerivationCacheLike(Protocol):
+    """What the engine needs from a derivation cache.
+
+    :class:`DerivationCache` is the reference implementation; the
+    serving layer's lock-striped
+    :class:`~repro.serving.shards.ShardedDerivationCache` implements
+    the same surface over many internal shards.
+    """
+
+    @property
+    def stats(self) -> CacheStats: ...  # noqa: E704
+
+    @property
+    def enabled(self) -> bool: ...  # noqa: E704
+
+    def __len__(self) -> int: ...  # noqa: E704
+
+    def get(self, user: str, plan_key: PlanKey,
+            token: CacheToken) -> Optional[MaskDerivation]: ...  # noqa: E704
+
+    def put(self, user: str, plan_key: PlanKey, token: CacheToken,
+            derivation: MaskDerivation) -> None: ...  # noqa: E704
+
+    def get_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken) -> Optional[object]: ...  # noqa: E704
+
+    def put_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken,
+                     compiled: object) -> None: ...  # noqa: E704
+
+    def invalidate_user(self, user: str) -> None: ...  # noqa: E704
+
+    def clear(self) -> None: ...  # noqa: E704
+
+    def users(self) -> Tuple[str, ...]: ...  # noqa: E704
+
+
 class DerivationCache:
     """LRU cache of mask derivations with version invalidation.
 
     Capacity 0 (or negative) disables the cache entirely: lookups
     return ``None`` without touching the statistics, stores are
     dropped.
+
+    All public methods are atomic under one internal lock: statistics
+    increments, the stale-entry discard inside :meth:`get`, and the
+    store-plus-eviction inside :meth:`put` each happen as a unit, so
+    the cache may be shared between threads (the serving layer does).
+    Derivations themselves are computed outside the cache and never
+    mutated after a store, so served references are safe to read
+    without the lock.
     """
 
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[str, PlanKey], _Entry]" = \
             OrderedDict()
 
@@ -110,7 +178,8 @@ class DerivationCache:
         return self.capacity > 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -123,17 +192,18 @@ class DerivationCache:
             return None
         maybe_fault("cache.get")
         key = (user, plan_key)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.token != token:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.token != token:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
         # The engine revalidates what comes back (see
         # AuthorizationEngine._valid_cached): a corrupted entry is
         # treated as a miss, never served.
@@ -146,11 +216,12 @@ class DerivationCache:
             return
         maybe_fault("cache.put")
         key = (user, plan_key)
-        self._entries[key] = _Entry(token, derivation)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = _Entry(token, derivation)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # compiled mask kernels (stored alongside the derivation)
@@ -167,10 +238,11 @@ class DerivationCache:
         """
         if not self.enabled:
             return None
-        entry = self._entries.get((user, plan_key))
-        if entry is None or entry.token != token:
-            return None
-        return entry.compiled
+        with self._lock:
+            entry = self._entries.get((user, plan_key))
+            if entry is None or entry.token != token:
+                return None
+            return entry.compiled
 
     def put_compiled(self, user: str, plan_key: PlanKey,
                      token: CacheToken, compiled: object) -> None:
@@ -183,10 +255,11 @@ class DerivationCache:
         if not self.enabled:
             return
         key = (user, plan_key)
-        entry = self._entries.get(key)
-        if entry is None or entry.token != token:
-            return
-        self._entries[key] = replace(entry, compiled=compiled)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.token != token:
+                return
+            self._entries[key] = replace(entry, compiled=compiled)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -195,19 +268,22 @@ class DerivationCache:
     def invalidate_user(self, user: str) -> None:
         """Eagerly drop every entry of ``user`` (token comparison makes
         this optional; provided for explicit flushes)."""
-        stale = [key for key in self._entries if key[0] == user]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == user]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters survive)."""
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def users(self) -> Tuple[str, ...]:
         """Distinct users with live entries (diagnostics)."""
-        seen: Dict[str, None] = {}
-        for user, _ in self._entries:
-            seen.setdefault(user)
-        return tuple(seen)
+        with self._lock:
+            seen: Dict[str, None] = {}
+            for user, _ in self._entries:
+                seen.setdefault(user)
+            return tuple(seen)

@@ -21,6 +21,7 @@ until these definitions are modified":
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
@@ -43,7 +44,11 @@ from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.answer import AuthorizedAnswer
-from repro.core.cache import CacheStats, DerivationCache
+from repro.core.cache import (
+    CacheStats,
+    DerivationCache,
+    DerivationCacheLike,
+)
 from repro.core.compiled_mask import CompiledMask, compile_mask
 from repro.core.mask import Mask
 from repro.core.statements import InferredPermit, infer_permits
@@ -57,6 +62,7 @@ from repro.metaalgebra.ladder import (
     EMPTY_LEVEL,
     derive_mask_resilient,
     empty_derivation,
+    rung_config,
 )
 from repro.metaalgebra.plan import MaskDerivation
 from repro.metaalgebra.selfjoin import selfjoin_closure
@@ -72,6 +78,7 @@ class AuthorizationEngine:
         catalog: Optional[PermissionCatalog] = None,
         config: EngineConfig = DEFAULT_CONFIG,
         audit: Optional["AuditLog"] = None,
+        derivation_cache: Optional[DerivationCacheLike] = None,
     ) -> None:
         self.database = database
         self.catalog = catalog or PermissionCatalog(database.schema)
@@ -85,13 +92,20 @@ class AuthorizationEngine:
         self._selfjoin_cache: Dict[
             str, Tuple[Tuple[int, int], Dict[str, Tuple[MetaTuple, ...]]]
         ] = {}
-        #: LRU cache of mask derivations (see repro.core.cache).
-        self._derivation_cache = DerivationCache(
-            config.derivation_cache_size
+        #: LRU cache of mask derivations (see repro.core.cache).  An
+        #: injected cache lets the serving layer substitute its
+        #: lock-striped sharded implementation, or share one cache
+        #: between engines that share a catalog.
+        self._derivation_cache: DerivationCacheLike = (
+            derivation_cache if derivation_cache is not None
+            else DerivationCache(config.derivation_cache_size)
         )
         # Compiled plans and canonical keys are pure functions of the
         # (immutable) schema, so they are memoized unconditionally;
-        # repeated statements skip the compiler entirely.
+        # repeated statements skip the compiler entirely.  The memo
+        # lock makes LRU bookkeeping safe under concurrent authorize
+        # calls from serving worker threads.
+        self._memo_lock = threading.RLock()
         self._plan_cache: "OrderedDict[Query, PSJQuery]" = OrderedDict()
         self._plan_key_cache: "OrderedDict[PSJQuery, PlanKey]" = \
             OrderedDict()
@@ -232,6 +246,132 @@ class AuthorizationEngine:
             answers.append(authorized)
         return tuple(answers)
 
+    def authorize_degraded(
+        self, user: str, query: Union[Query, str], floor: int,
+        reason: Optional[str] = None,
+    ) -> AuthorizedAnswer:
+        """Answer ``query`` at degradation-ladder rung ``floor`` or
+        below — the serving layer's admission-control shed path.
+
+        Under overload a server trades fidelity for latency instead of
+        queueing unboundedly: the mask is derived with the (cheaper)
+        configuration of rung ``floor`` (see
+        :func:`repro.metaalgebra.ladder.rung_config`), which by the
+        ladder-subset invariant delivers a subset of the full answer —
+        shedding can only ever *hide* more.  Two refinements keep the
+        cost of shedding low:
+
+        * a live cached full-fidelity derivation is still served (a
+          hit costs almost nothing, so there is nothing to shed);
+        * ``floor >= EMPTY_LEVEL`` short-circuits to the empty answer
+          without evaluating the query at all.
+
+        Degraded derivations are never stored in the cache, so an
+        overload can never poison post-overload answers.  The same
+        fail-closed contract as :meth:`authorize` applies.
+        """
+        query = self._parse_query(query, "authorize_degraded")
+        plan = self._compile(query)
+        try:
+            authorized = self._authorize_plan_degraded(
+                user, query, plan, floor, reason
+            )
+        except Exception as error:  # the fail-closed boundary
+            if not self.config.fail_closed:
+                raise
+            authorized = self._failed_answer(user, query, plan, error)
+        if self.audit is not None:
+            self.audit.record(authorized)
+        return authorized
+
+    def _authorize_plan_degraded(
+        self, user: str, query: Query, plan: PSJQuery, floor: int,
+        reason: Optional[str],
+    ) -> AuthorizedAnswer:
+        """The unprotected shed path (inside the boundary)."""
+        floor = max(0, min(floor, EMPTY_LEVEL))
+        if floor == 0:
+            return self._authorize_plan(user, query, plan)
+        reason = reason or f"admission shed to rung {floor}"
+        derivation, hit = self._derive_degraded(
+            user, plan, floor, reason
+        )
+        if derivation.degradation_level >= EMPTY_LEVEL:
+            # Nothing will be delivered: skip answer evaluation too.
+            return self._denied_answer(user, query, plan, reason)
+        maybe_fault("engine.evaluate")
+        answer = evaluate_optimized(plan, self.database)
+        return self._assemble(user, query, plan, answer, derivation, hit)
+
+    def _derive_degraded(
+        self, user: str, plan: PSJQuery, floor: int, reason: str,
+    ) -> Tuple[MaskDerivation, bool]:
+        """A derivation at rung ``floor`` or below, preferring a live
+        cached full-fidelity entry (which costs nothing to serve)."""
+        cache = self._derivation_cache
+        if cache.enabled:
+            key = self._plan_key(plan)
+            token = self.catalog.cache_token(user)
+            try:
+                cached = cache.get(user, key, token)
+            except ReproError:
+                if not self.config.fail_closed:
+                    raise
+                cached = None
+            if self._valid_cached(cached):
+                assert isinstance(cached, MaskDerivation)
+                return cached, True
+        if floor >= EMPTY_LEVEL:
+            return empty_derivation(
+                plan, self.database.schema, reason=reason
+            ), False
+        rung = rung_config(self.config, floor)
+        assert rung is not None
+        derivation = self._derive_uncached(user, plan, config=rung)
+        # derive_mask_resilient reports the rung relative to the
+        # configuration it was handed; rungs compose by max, so the
+        # absolute level is max(floor, relative) — except the empty
+        # floor, which is already absolute.
+        if derivation.degradation_level < EMPTY_LEVEL:
+            derivation.degradation_level = max(
+                floor, derivation.degradation_level
+            )
+        if derivation.degradation_reason is None:
+            derivation.degradation_reason = reason
+        # Degraded masks are never cached (see _derive_plan).
+        return derivation, False
+
+    def prepare(self, query: Union[Query, str]) -> Query:
+        """Parse and plan ``query`` without touching any data.
+
+        The serving layer's front door: malformed or unsafe statements
+        fail *here*, synchronously on the submitting thread, before a
+        request consumes a queue slot — so worker threads only ever
+        see statements that are known to compile (the plan memo keeps
+        the repeated compile free).
+        """
+        parsed = self._parse_query(query, "prepare")
+        self._compile(parsed)
+        return parsed
+
+    def deny(self, user: str, query: Union[Query, str],
+             reason: str) -> AuthorizedAnswer:
+        """An audited, empty-mask denial of ``query``.
+
+        Unlike :meth:`authorize_degraded` at the EMPTY floor, this
+        never consults the derivation cache and never evaluates the
+        query: the cost is bounded by plan compilation (memoized) and
+        the answer is guaranteed empty.  The serving layer uses it for
+        admission hard sheds and for failing one request closed after
+        a worker-side fault.
+        """
+        parsed = self._parse_query(query, "deny")
+        plan = self._compile(parsed)
+        authorized = self._denied_answer(user, parsed, plan, reason)
+        if self.audit is not None:
+            self.audit.record(authorized)
+        return authorized
+
     def derive(self, user: str,
                query: Union[Query, str]) -> MaskDerivation:
         """Derive the mask only (no data touched) — with full trace."""
@@ -272,27 +412,36 @@ class AuthorizationEngine:
 
     def _compile(self, query: Query) -> PSJQuery:
         """Compile ``query`` with LRU memoization (the schema is
-        immutable for the engine's lifetime, so plans never go stale)."""
-        plan = self._plan_cache.get(query)
-        if plan is not None:
-            self._plan_cache.move_to_end(query)
-            return plan
+        immutable for the engine's lifetime, so plans never go stale).
+
+        Compilation runs outside the memo lock; a racing thread at
+        worst compiles the same plan twice and the second store wins —
+        both plans are equal, so either may be served.
+        """
+        with self._memo_lock:
+            plan = self._plan_cache.get(query)
+            if plan is not None:
+                self._plan_cache.move_to_end(query)
+                return plan
         plan = compile_query(query, self.database.schema)
-        self._plan_cache[query] = plan
-        while len(self._plan_cache) > self._plan_cache_capacity:
-            self._plan_cache.popitem(last=False)
+        with self._memo_lock:
+            self._plan_cache[query] = plan
+            while len(self._plan_cache) > self._plan_cache_capacity:
+                self._plan_cache.popitem(last=False)
         return plan
 
     def _plan_key(self, plan: PSJQuery) -> PlanKey:
         """Canonical key of ``plan``, LRU-memoized like the plans."""
-        key = self._plan_key_cache.get(plan)
-        if key is not None:
-            self._plan_key_cache.move_to_end(plan)
-            return key
+        with self._memo_lock:
+            key = self._plan_key_cache.get(plan)
+            if key is not None:
+                self._plan_key_cache.move_to_end(plan)
+                return key
         key = canonical_plan_key(plan, self.database.schema)
-        self._plan_key_cache[plan] = key
-        while len(self._plan_key_cache) > self._plan_cache_capacity:
-            self._plan_key_cache.popitem(last=False)
+        with self._memo_lock:
+            self._plan_key_cache[plan] = key
+            while len(self._plan_key_cache) > self._plan_cache_capacity:
+                self._plan_key_cache.popitem(last=False)
         return key
 
     def _assemble(self, user: str, query: Query, plan: PSJQuery,
@@ -375,13 +524,23 @@ class AuthorizationEngine:
 
     def _failed_answer(self, user: str, query: Query, plan: PSJQuery,
                        error: Exception) -> AuthorizedAnswer:
-        """The fail-closed fallback: nothing delivered, error recorded.
+        """The fail-closed fallback: nothing delivered, error recorded."""
+        return self._denied_answer(
+            user, query, plan, f"{type(error).__name__}: {error}"
+        )
+
+    def _denied_answer(self, user: str, query: Query, plan: PSJQuery,
+                       reason: str) -> AuthorizedAnswer:
+        """An empty-mask answer: nothing delivered, ``reason`` recorded.
 
         Built from parts that cannot themselves fail — an empty mask
         over the plan's output columns and an empty answer relation —
-        so the boundary never recurses into another failure.
+        so the fail-closed boundary never recurses into another
+        failure.  Also the shape of an admission-control hard shed.
         """
-        derivation = empty_derivation(plan, self.database.schema)
+        derivation = empty_derivation(
+            plan, self.database.schema, reason=reason
+        )
         assert derivation.mask is not None
         return AuthorizedAnswer(
             user=user,
@@ -397,7 +556,7 @@ class AuthorizationEngine:
             derivation=derivation,
             cache_hit=False,
             degradation_level=EMPTY_LEVEL,
-            error=f"{type(error).__name__}: {error}",
+            error=reason,
         )
 
     def _derive_plan(self, user: str,
@@ -492,10 +651,17 @@ class AuthorizationEngine:
         if not self.config.self_joins:
             return None
         token = self.catalog.cache_token(user)
-        cached = self._selfjoin_cache.get(user)
-        if cached is not None and cached[0] == token:
-            return cached[1]
+        with self._memo_lock:
+            cached = self._selfjoin_cache.get(user)
+            if cached is not None and cached[0] == token:
+                return cached[1]
 
+        # Computed outside the lock: closures can be expensive and
+        # recomputation is idempotent — concurrent threads at worst
+        # duplicate work, and whichever stores last wins.  The token
+        # was captured *before* the catalog reads below, so a racing
+        # revoke leaves a pool that is stored under a stale token and
+        # recomputed on the next call.
         pool: Dict[str, Tuple[MetaTuple, ...]] = {}
         permitted = self.catalog.views_of(user)
         store = self.catalog.store_for(permitted)
@@ -509,5 +675,6 @@ class AuthorizationEngine:
                 self.config.max_selfjoin_rounds,
                 self.config.max_selfjoin_tuples,
             )
-        self._selfjoin_cache[user] = (token, pool)
+        with self._memo_lock:
+            self._selfjoin_cache[user] = (token, pool)
         return pool

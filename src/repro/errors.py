@@ -171,3 +171,21 @@ class FaultInjected(ReproError):
     def __init__(self, site: str) -> None:
         super().__init__(f"injected fault at {site!r}")
         self.site = site
+
+
+class ServingError(ReproError):
+    """The serving layer rejected a request before it reached an engine.
+
+    Raised for structural problems — an unknown tenant, a submit after
+    shutdown — never for authorization decisions, which always come
+    back as (possibly empty) :class:`~repro.core.answer.AuthorizedAnswer`
+    objects with ``error`` set.
+    """
+
+
+class UnknownTenantError(ServingError):
+    """A request named a tenant the server has never been told about."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown tenant: {name!r}")
+        self.name = name

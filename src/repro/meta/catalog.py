@@ -16,6 +16,7 @@ these relations in their entirety".
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.algebra.schema import DatabaseSchema
@@ -28,13 +29,32 @@ from repro.predicates.store import ConstraintStore
 
 
 class PermissionCatalog:
-    """Views, their meta-tuple encodings, and user grants."""
+    """Views, their meta-tuple encodings, and user grants.
+
+    Mutators (``define_view`` / ``drop_view`` / ``permit`` /
+    ``revoke``) are serialized by an internal lock so concurrent
+    grant/revoke traffic from a serving layer cannot lose version
+    bumps — the version counters are what keep shared derivation
+    caches honest.  Readers are lock-free: they take GIL-atomic
+    snapshots, and a reader that races a mutation simply observes
+    either the before or the after state, both of which are guarded by
+    the token it captured (see :meth:`cache_token`).
+
+    Every mutation writes its state change *before* bumping the
+    version counters.  That ordering is load-bearing: a reader that
+    captures the post-mutation token is then guaranteed to see the
+    post-mutation grants, so nothing stale can ever be cached under a
+    live token — in-flight derivations that started under the old
+    state store under the old token and are invalidated on their next
+    lookup.
+    """
 
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
         self._views: Dict[str, EncodedView] = {}
         self._grants: Dict[str, List[str]] = {}  # user -> view names, in grant order
         self._var_counter = 0
+        self._mutate_lock = threading.RLock()
         #: Monotonic version, bumped on every mutation (kept for
         #: backward compatibility and coarse observers).
         self.version = 0
@@ -66,27 +86,33 @@ class PermissionCatalog:
         """
         if isinstance(view, str):
             view = parse_view(view)
-        if view.name in self._views:
-            raise DuplicateViewError(view.name)
-        encoded = encode_view(view, self.schema, self._fresh_var)
-        self._views[view.name] = encoded
-        self.version += 1
-        self.definitions_version += 1
+        with self._mutate_lock:
+            if view.name in self._views:
+                raise DuplicateViewError(view.name)
+            encoded = encode_view(view, self.schema, self._fresh_var)
+            self._views[view.name] = encoded
+            self.version += 1
+            self.definitions_version += 1
         return encoded
 
     def drop_view(self, name: str) -> None:
         """Remove a view and every grant that references it."""
-        if name not in self._views:
-            raise UnknownViewError(name)
-        del self._views[name]
-        for user in list(self._grants):
-            if name in self._grants[user]:
-                self._bump_grants(user)
-            self._grants[user] = [v for v in self._grants[user] if v != name]
-            if not self._grants[user]:
-                del self._grants[user]
-        self.version += 1
-        self.definitions_version += 1
+        with self._mutate_lock:
+            if name not in self._views:
+                raise UnknownViewError(name)
+            del self._views[name]
+            for user in list(self._grants):
+                if name in self._grants[user]:
+                    self._bump_grants(user)
+                remaining = [
+                    v for v in self._grants[user] if v != name
+                ]
+                if remaining:
+                    self._grants[user] = remaining
+                else:
+                    del self._grants[user]
+            self.version += 1
+            self.definitions_version += 1
 
     def view(self, name: str) -> EncodedView:
         try:
@@ -106,23 +132,30 @@ class PermissionCatalog:
 
     def permit(self, view_name: str, user: str) -> None:
         """Grant ``user`` access to ``view_name`` (idempotent)."""
-        if view_name not in self._views:
-            raise UnknownViewError(view_name)
-        granted = self._grants.setdefault(user, [])
-        if view_name not in granted:
-            granted.append(view_name)
-            self.version += 1
-            self._bump_grants(user)
+        with self._mutate_lock:
+            if view_name not in self._views:
+                raise UnknownViewError(view_name)
+            granted = self._grants.get(user, [])
+            if view_name not in granted:
+                # Replace the list wholesale so lock-free readers see
+                # either the before or the after state, never a
+                # half-applied mutation.
+                self._grants[user] = granted + [view_name]
+                self.version += 1
+                self._bump_grants(user)
 
     def revoke(self, view_name: str, user: str) -> None:
         """Withdraw a grant (no-op when absent)."""
-        granted = self._grants.get(user, [])
-        if view_name in granted:
-            granted.remove(view_name)
-            if not granted:
-                del self._grants[user]
-            self.version += 1
-            self._bump_grants(user)
+        with self._mutate_lock:
+            granted = self._grants.get(user, [])
+            if view_name in granted:
+                remaining = [v for v in granted if v != view_name]
+                if remaining:
+                    self._grants[user] = remaining
+                else:
+                    del self._grants[user]
+                self.version += 1
+                self._bump_grants(user)
 
     def views_of(self, user: str) -> Tuple[str, ...]:
         """Views granted to ``user``, in grant order."""

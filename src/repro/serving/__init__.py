@@ -1,0 +1,35 @@
+"""Concurrent multi-tenant authorization serving.
+
+The serving layer fronts :class:`~repro.core.engine.AuthorizationEngine`
+with a thread-pool batch server (:mod:`repro.serving.server`), a
+lock-striped sharded derivation cache (:mod:`repro.serving.shards`),
+per-tenant isolation (:mod:`repro.serving.tenants`), and admission
+control that sheds fidelity down the degradation ladder instead of
+queueing unboundedly (:mod:`repro.serving.admission`).  See
+docs/SERVING.md for the architecture and its soundness arguments.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionSnapshot,
+)
+from repro.serving.server import (
+    AuthorizationServer,
+    ServerConfig,
+    ServerTelemetry,
+)
+from repro.serving.shards import ShardedDerivationCache
+from repro.serving.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionSnapshot",
+    "AuthorizationServer",
+    "ServerConfig",
+    "ServerTelemetry",
+    "ShardedDerivationCache",
+    "Tenant",
+    "TenantRegistry",
+]

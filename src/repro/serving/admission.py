@@ -1,0 +1,165 @@
+"""Admission control: overload sheds fidelity instead of queueing.
+
+A serving layer that queues unboundedly converts overload into
+unbounded latency and memory; one that drops requests converts it into
+availability loss.  The degradation ladder offers a third option that
+fits this codebase's fail-closed philosophy: under pressure, keep
+answering but derive masks at a cheaper rung.  Degraded masks are
+subsets of the full-fidelity mask (``tests/property/
+test_degradation_ladder.py``), so shedding can only *narrow* what a
+request delivers — overload never widens access.
+
+:class:`AdmissionPolicy` maps queue backlog to a degradation floor:
+below the first threshold requests run at full fidelity; each threshold
+crossed raises the floor one rung; at the last threshold (the hard
+limit) new requests are denied outright with the EMPTY rung rather
+than enqueued.  :class:`AdmissionController` is the thread-safe
+backlog counter that applies a policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.metaalgebra.ladder import EMPTY_LEVEL
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backlog thresholds at which the degradation floor rises.
+
+    ``shed_thresholds[i]`` is the backlog at which the floor becomes
+    ``i + 1``; the last threshold is the hard limit beyond which
+    requests are refused (answered with the EMPTY rung, synchronously,
+    without consuming a queue slot).  Thresholds must be positive and
+    strictly increasing.
+    """
+
+    shed_thresholds: Tuple[int, ...] = (64, 128, 192, 256)
+
+    def __post_init__(self) -> None:
+        if not self.shed_thresholds:
+            raise ValueError("need at least one shed threshold")
+        if any(t <= 0 for t in self.shed_thresholds):
+            raise ValueError(
+                f"thresholds must be positive: {self.shed_thresholds}"
+            )
+        if any(b <= a for a, b in zip(self.shed_thresholds,
+                                      self.shed_thresholds[1:])):
+            raise ValueError(
+                "thresholds must be strictly increasing: "
+                f"{self.shed_thresholds}"
+            )
+
+    @property
+    def hard_limit(self) -> int:
+        """Backlog at which new requests are refused outright."""
+        return self.shed_thresholds[-1]
+
+    def floor_for(self, backlog: int) -> int:
+        """The degradation floor a request admitted at ``backlog``
+        runs at (0 = full fidelity, clamped to the EMPTY rung)."""
+        crossed = sum(
+            1 for t in self.shed_thresholds if backlog >= t
+        )
+        return min(crossed, EMPTY_LEVEL)
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """A consistent point-in-time view of a controller's counters."""
+
+    backlog: int
+    max_backlog: int
+    admitted: int
+    completed: int
+    hard_sheds: int
+    #: ``soft_sheds[i]`` counts requests drained with floor ``i + 1``
+    #: (index 0 = rung 1, ... index EMPTY_LEVEL - 1 = the EMPTY rung
+    #: reached through backlog rather than the hard limit).
+    soft_sheds: Tuple[int, ...] = field(
+        default_factory=lambda: (0,) * EMPTY_LEVEL
+    )
+
+    @property
+    def shed_total(self) -> int:
+        return self.hard_sheds + sum(self.soft_sheds)
+
+
+class AdmissionController:
+    """Thread-safe backlog accounting for one server.
+
+    ``admit()`` reserves a queue slot (or refuses at the hard limit);
+    ``release(n)`` returns slots when requests complete; ``floor()``
+    reads the *current* degradation floor — the server calls it at
+    drain time, not admit time, so the floor reflects pressure when
+    the work actually runs and recovery is immediate once the backlog
+    drains.
+    """
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._backlog = 0
+        self._max_backlog = 0
+        self._admitted = 0
+        self._completed = 0
+        self._hard_sheds = 0
+        self._soft_sheds = [0] * EMPTY_LEVEL
+
+    def admit(self) -> bool:
+        """Reserve a slot; ``False`` means hard-shed (queue full)."""
+        with self._lock:
+            if self._backlog >= self.policy.hard_limit:
+                self._hard_sheds += 1
+                return False
+            self._backlog += 1
+            self._admitted += 1
+            if self._backlog > self._max_backlog:
+                self._max_backlog = self._backlog
+            return True
+
+    def release(self, count: int = 1) -> None:
+        """Return ``count`` slots after requests complete."""
+        if count < 0:
+            raise ValueError(f"cannot release {count} slots")
+        with self._lock:
+            self._backlog -= count
+            self._completed += count
+            if self._backlog < 0:  # pragma: no cover - accounting bug
+                raise AssertionError(
+                    f"admission backlog went negative: {self._backlog}"
+                )
+
+    def floor(self, exclude: int = 0) -> int:
+        """The degradation floor for work drained right now.
+
+        ``exclude`` subtracts the batch being drained from the
+        backlog: the floor measures pressure *besides* the work in
+        hand, so a lone request on an otherwise idle server always
+        runs at full fidelity.
+        """
+        with self._lock:
+            waiting = max(0, self._backlog - exclude)
+            return self.policy.floor_for(waiting)
+
+    def note_shed(self, floor: int, count: int = 1) -> None:
+        """Record ``count`` requests drained at degraded ``floor``."""
+        if floor <= 0:
+            return
+        index = min(floor, EMPTY_LEVEL) - 1
+        with self._lock:
+            self._soft_sheds[index] += count
+
+    def snapshot(self) -> AdmissionSnapshot:
+        with self._lock:
+            return AdmissionSnapshot(
+                backlog=self._backlog,
+                max_backlog=self._max_backlog,
+                admitted=self._admitted,
+                completed=self._completed,
+                hard_sheds=self._hard_sheds,
+                soft_sheds=tuple(self._soft_sheds),
+            )

@@ -1,0 +1,135 @@
+"""A lock-striped, sharded derivation cache for concurrent serving.
+
+One :class:`~repro.core.cache.DerivationCache` is already thread-safe,
+but every worker thread then contends on a single lock.  The serving
+layer instead stripes the key space over ``shards`` independent caches,
+each with its own lock: a lookup touches exactly one shard, so threads
+probing different keys never contend.  The shard index is derived from
+``hash((user, plan_key))`` — process-local, which is fine because shard
+placement is pure bookkeeping and never leaves the process.
+
+The security-critical invariant is untouched by sharding: a given
+``(user, plan_key)`` always maps to the same shard, and each shard
+enforces the token-match rule of the underlying cache, so a stale
+derivation is exactly as unservable here as in the single-lock cache.
+``tests/property/test_concurrent_cache.py`` checks both the model
+equivalence and the no-stale-serve property under real thread
+interleavings.
+
+Capacity is divided evenly between shards (rounded up), so eviction is
+per-shard LRU rather than global LRU — a deliberately accepted
+difference: a hot key can only be evicted by traffic on its own shard,
+and total occupancy stays within ``shards`` rounding slots of the
+configured capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.cache import CacheStats, CacheToken, DerivationCache
+from repro.metaalgebra.canonical import PlanKey
+from repro.metaalgebra.plan import MaskDerivation
+
+#: Default number of lock stripes; enough that 8-16 worker threads
+#: rarely collide, small enough that per-shard LRU stays meaningful.
+DEFAULT_SHARDS = 8
+
+
+class ShardedDerivationCache:
+    """Lock-striped implementation of
+    :class:`~repro.core.cache.DerivationCacheLike`.
+
+    Capacity 0 (or negative) disables caching entirely, exactly like
+    the single-lock cache.  ``stats`` aggregates the per-shard
+    counters; the aggregate is a consistent *sum* but not a single
+    atomic snapshot across shards (each shard's counters are read
+    under that shard's lock).
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 shards: int = DEFAULT_SHARDS) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.capacity = capacity
+        per_shard = -(-capacity // shards) if capacity > 0 else 0
+        self._shards: Tuple[DerivationCache, ...] = tuple(
+            DerivationCache(per_shard) for _ in range(shards)
+        )
+
+    # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+
+    def _shard(self, user: str, plan_key: PlanKey) -> DerivationCache:
+        """The one shard responsible for ``(user, plan_key)``."""
+        return self._shards[
+            hash((user, plan_key)) % len(self._shards)
+        ]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    # ------------------------------------------------------------------
+    # the DerivationCacheLike surface
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counter-wise sum of the per-shard statistics."""
+        return CacheStats.merged(
+            shard.stats for shard in self._shards
+        )
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def get(self, user: str, plan_key: PlanKey,
+            token: CacheToken) -> Optional[MaskDerivation]:
+        if not self.enabled:
+            return None
+        return self._shard(user, plan_key).get(user, plan_key, token)
+
+    def put(self, user: str, plan_key: PlanKey, token: CacheToken,
+            derivation: MaskDerivation) -> None:
+        if not self.enabled:
+            return
+        self._shard(user, plan_key).put(user, plan_key, token,
+                                        derivation)
+
+    def get_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken) -> Optional[object]:
+        if not self.enabled:
+            return None
+        return self._shard(user, plan_key).get_compiled(
+            user, plan_key, token
+        )
+
+    def put_compiled(self, user: str, plan_key: PlanKey,
+                     token: CacheToken, compiled: object) -> None:
+        if not self.enabled:
+            return
+        self._shard(user, plan_key).put_compiled(
+            user, plan_key, token, compiled
+        )
+
+    def invalidate_user(self, user: str) -> None:
+        for shard in self._shards:
+            shard.invalidate_user(user)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def users(self) -> Tuple[str, ...]:
+        """Distinct users with live entries, in first-seen shard order."""
+        seen: Dict[str, None] = {}
+        for shard in self._shards:
+            for user in shard.users():
+                seen.setdefault(user)
+        return tuple(seen)

@@ -31,6 +31,8 @@ Sites currently wired (a plan may name any subset):
     ``storage.read``  snapshot reading
     ``storage.write`` snapshot writing
     ``storage.fsync`` between temp-file write and atomic rename
+    ``serving.submit``  request admission in the batch server
+    ``serving.batch``   batch processing in a server worker
 
 Actions:
 

@@ -20,6 +20,14 @@ from repro.workloads.scenarios import (
     corporate_scenario,
     hospital_scenario,
 )
+from repro.workloads.traffic import (
+    TrafficOp,
+    TrafficScript,
+    TrafficSpec,
+    build_traffic,
+    drive_server,
+    replay_serial,
+)
 
 __all__ = [
     "EXAMPLE_1_QUERY",
@@ -27,6 +35,9 @@ __all__ = [
     "EXAMPLE_3_QUERY",
     "GRANTS",
     "Scenario",
+    "TrafficOp",
+    "TrafficScript",
+    "TrafficSpec",
     "VIEW_STATEMENTS",
     "Workload",
     "WorkloadGenerator",
@@ -34,6 +45,9 @@ __all__ = [
     "build_paper_catalog",
     "build_paper_database",
     "build_paper_engine",
+    "build_traffic",
     "corporate_scenario",
+    "drive_server",
     "hospital_scenario",
+    "replay_serial",
 ]

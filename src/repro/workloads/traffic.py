@@ -1,0 +1,295 @@
+"""Closed-loop multi-tenant traffic for the serving layer.
+
+The serving benchmark and the concurrency differential suite both need
+the same thing: realistic concurrent traffic whose *correct* outcome is
+still computable.  This module provides it in three pieces:
+
+**Deterministic scripts.**  :func:`build_traffic` expands a
+:class:`TrafficSpec` into per-client op sequences — Zipf-skewed users
+issuing Zipf-skewed queries, optionally interleaved with permit/revoke
+churn — using a single seeded ``random.Random``.  Generation is fully
+separated from execution, so the same spec always yields the same
+script no matter how threads interleave later.
+
+**A parity oracle by construction.**  Each simulated client owns a
+*disjoint* slice of the user population, and its churn ops only ever
+touch its own users' grants.  View definitions never change.  A
+request's answer therefore depends only on the database (immutable)
+and the issuing user's grant state, which evolves exactly along the
+owning client's op sequence — so a client's answers under *any*
+concurrent interleaving equal its answers under a serial replay of
+just that client's ops against a fresh stack.
+:func:`replay_serial` computes that oracle with a fresh
+single-threaded engine per client; ``tests/test_serving.py`` asserts
+byte-identical deliveries against :func:`drive_server`.
+
+**Closed-loop execution.**  :func:`drive_server` runs one thread per
+client, each waiting for its answer before issuing the next op — the
+load model under which backlog, batching, and admission control are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.calculus.ast import Query
+from repro.core.answer import AuthorizedAnswer
+from repro.core.engine import AuthorizationEngine
+from repro.serving.server import AuthorizationServer
+from repro.workloads.generator import (
+    Workload,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of a closed-loop traffic run (fully seed-determined)."""
+
+    #: Concurrent closed-loop clients.
+    clients: int = 8
+    #: Ops issued by each client (queries plus churn ops).
+    ops_per_client: int = 50
+    #: Users owned by each client (disjoint across clients).
+    users_per_client: int = 2
+    #: Zipf skew over a client's users (0 = uniform).
+    user_skew: float = 1.0
+    #: Distinct queries in the shared hot pool.
+    distinct_queries: int = 12
+    #: Zipf skew over the query pool.
+    query_skew: float = 1.2
+    #: Every Nth op is a permit/revoke toggle instead of a query
+    #: (0 disables churn).
+    churn_every: int = 0
+    #: Workload shape for the underlying database and views; its
+    #: ``users`` field is overridden to ``clients * users_per_client``.
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"need at least one client: {self.clients}")
+        if self.users_per_client < 1:
+            raise ValueError(
+                f"need at least one user per client: "
+                f"{self.users_per_client}"
+            )
+        if self.distinct_queries < 1:
+            raise ValueError(
+                f"need a nonempty query pool: {self.distinct_queries}"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficOp:
+    """One scripted client step.
+
+    ``kind`` is ``"query"`` (with ``query`` set) or ``"permit"`` /
+    ``"revoke"`` (with ``view`` set).  ``user`` always belongs to the
+    issuing client's slice.
+    """
+
+    kind: str
+    user: str
+    query: Optional[Query] = None
+    view: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TrafficScript:
+    """A fully expanded run: the stack recipe plus per-client ops.
+
+    ``spec`` regenerates an identical, independent copy of the
+    database/catalog stack via :func:`fresh_stack` — which is how the
+    serial oracle avoids sharing mutable state with the concurrent
+    run.
+    """
+
+    spec: TrafficSpec
+    clients: Tuple[Tuple[TrafficOp, ...], ...]
+
+    @property
+    def total_queries(self) -> int:
+        return sum(
+            1 for ops in self.clients for op in ops
+            if op.kind == "query"
+        )
+
+
+def _zipf_pick(rng: random.Random, count: int, skew: float) -> int:
+    """A Zipf-skewed rank in ``range(count)``."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(count)]
+    return rng.choices(range(count), weights=weights, k=1)[0]
+
+
+def fresh_stack(spec: TrafficSpec) -> Workload:
+    """An independent copy of the script's database/catalog stack.
+
+    Deterministic in ``spec``: every call returns a structurally
+    identical workload, so the concurrent run and the serial oracle
+    can each mutate their own catalog without observing the other.
+    """
+    workload_spec = replace(
+        spec.workload,
+        users=spec.clients * spec.users_per_client,
+        seed=spec.seed,
+    )
+    return WorkloadGenerator(seed=spec.seed).workload(workload_spec)
+
+
+def client_users(spec: TrafficSpec,
+                 users: Sequence[str]) -> Tuple[Tuple[str, ...], ...]:
+    """Partition the user population into per-client disjoint slices."""
+    k = spec.users_per_client
+    return tuple(
+        tuple(users[c * k:(c + 1) * k]) for c in range(spec.clients)
+    )
+
+
+def build_traffic(spec: TrafficSpec) -> TrafficScript:
+    """Expand ``spec`` into deterministic per-client op sequences."""
+    rng = random.Random(spec.seed)
+    workload = fresh_stack(spec)
+    generator = WorkloadGenerator(seed=spec.seed + 1)
+    workload_spec = replace(
+        spec.workload,
+        users=spec.clients * spec.users_per_client,
+        seed=spec.seed,
+    )
+    pool = [
+        generator.query(workload_spec, workload.database.schema)
+        for _ in range(spec.distinct_queries)
+    ]
+    slices = client_users(spec, workload.users)
+    view_names = workload.catalog.view_names()
+
+    # Track each user's simulated grant set so churn toggles are
+    # recorded as explicit permit/revoke ops (replay never has to
+    # guess state).
+    granted: Dict[str, Set[str]] = {
+        user: set(workload.catalog.views_of(user))
+        for user in workload.users
+    }
+
+    clients: List[Tuple[TrafficOp, ...]] = []
+    for client in range(spec.clients):
+        mine = slices[client]
+        ops: List[TrafficOp] = []
+        for step in range(spec.ops_per_client):
+            user = mine[_zipf_pick(rng, len(mine), spec.user_skew)]
+            churn = (
+                spec.churn_every > 0
+                and (step + 1) % spec.churn_every == 0
+                and view_names
+            )
+            if churn:
+                view = rng.choice(view_names)
+                if view in granted[user]:
+                    granted[user].discard(view)
+                    ops.append(TrafficOp("revoke", user, view=view))
+                else:
+                    granted[user].add(view)
+                    ops.append(TrafficOp("permit", user, view=view))
+            else:
+                query = pool[
+                    _zipf_pick(rng, len(pool), spec.query_skew)
+                ]
+                ops.append(TrafficOp("query", user, query=query))
+        clients.append(tuple(ops))
+    return TrafficScript(spec=spec, clients=tuple(clients))
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def _apply_churn(engine: AuthorizationEngine, op: TrafficOp) -> None:
+    if op.view is None:  # pragma: no cover - script construction bug
+        raise ValueError(f"churn op without a view: {op}")
+    if op.kind == "permit":
+        engine.permit(op.view, op.user)
+    else:
+        engine.revoke(op.view, op.user)
+
+
+def drive_server(
+    script: TrafficScript,
+    server: AuthorizationServer,
+    tenant: str,
+) -> Tuple[Tuple[AuthorizedAnswer, ...], ...]:
+    """Run the script closed-loop: one thread per client, each
+    waiting for its answer before the next op.  Returns each client's
+    answers to its *query* ops, in script order."""
+    engine = server.tenants.get(tenant).engine
+    results: List[Tuple[AuthorizedAnswer, ...]] = [
+        () for _ in script.clients
+    ]
+    failures: List[BaseException] = []
+
+    def run_client(index: int) -> None:
+        answers: List[AuthorizedAnswer] = []
+        try:
+            for op in script.clients[index]:
+                if op.kind == "query":
+                    assert op.query is not None
+                    answers.append(
+                        server.submit(tenant, op.user,
+                                      op.query).result()
+                    )
+                else:
+                    _apply_churn(engine, op)
+            results[index] = tuple(answers)
+        except BaseException as error:
+            failures.append(error)
+            raise
+
+    threads = [
+        threading.Thread(
+            target=run_client, args=(index,),
+            name=f"traffic-client-{index}", daemon=True,
+        )
+        for index in range(len(script.clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+    return tuple(results)
+
+
+def replay_serial(
+    script: TrafficScript,
+) -> Tuple[Tuple[AuthorizedAnswer, ...], ...]:
+    """The parity oracle: each client's ops replayed in isolation
+    through a fresh single-threaded engine over a fresh stack."""
+    results: List[Tuple[AuthorizedAnswer, ...]] = []
+    for ops in script.clients:
+        workload = fresh_stack(script.spec)
+        engine = AuthorizationEngine(workload.database,
+                                     workload.catalog)
+        answers: List[AuthorizedAnswer] = []
+        for op in ops:
+            if op.kind == "query":
+                assert op.query is not None
+                answers.append(engine.authorize(op.user, op.query))
+            else:
+                _apply_churn(engine, op)
+        results.append(tuple(answers))
+    return tuple(results)
+
+
+def delivery_signature(
+    answers: Sequence[AuthorizedAnswer],
+) -> Tuple[Tuple[str, Tuple[Tuple[object, ...], ...]], ...]:
+    """What parity compares: per answer, the user and the exact
+    delivered tuples (shape *and* values)."""
+    return tuple(
+        (answer.user, answer.delivered) for answer in answers
+    )

@@ -11,7 +11,10 @@ unbudgeted engine, whichever rung it lands on.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.engine import AuthorizationEngine
@@ -21,6 +24,7 @@ from repro.metaalgebra.ladder import (
     EMPTY_LEVEL,
     rung_config,
 )
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 from repro.workloads.paperdb import (
     EXAMPLE_1_QUERY,
     EXAMPLE_2_QUERY,
@@ -29,6 +33,14 @@ from repro.workloads.paperdb import (
     build_paper_database,
 )
 from repro.workloads.scenarios import corporate_scenario, hospital_scenario
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_HYPOTHESIS_MAX_EXAMPLES", "10"))
+
+SHED = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
 
 def paper_case():
@@ -134,6 +146,57 @@ def test_budgeted_engine_delivers_a_subset(name, cap):
             )
             if capped.degradation_level == 0:
                 assert visible_cells(capped) == visible_cells(full)
+
+
+@pytest.mark.slow
+class TestAdmissionShedding:
+    """The serving layer's shed path (``authorize_degraded``) obeys
+    the ladder: whatever floor admission control imposes, the shed
+    answer's visible cells are a subset of the unshed answer's — on
+    random workloads, not just the bundled scenarios."""
+
+    @SHED
+    @given(st.integers(min_value=0, max_value=2_000))
+    def test_shed_answers_stay_inside_the_unshed_mask(self, seed):
+        generator = WorkloadGenerator(seed)
+        spec = WorkloadSpec(seed=seed, relations=3, views=3, users=2,
+                            rows_per_relation=6)
+        workload = generator.workload(spec)
+        queries = [
+            generator.query(spec, workload.database.schema)
+            for _ in range(3)
+        ]
+        unshed = AuthorizationEngine(workload.database,
+                                     workload.catalog)
+        # Cache off so every floor genuinely re-derives at its rung
+        # (a live cached hit would trivially serve the full mask).
+        shed_engine = AuthorizationEngine(
+            workload.database, workload.catalog,
+            DEFAULT_CONFIG.but(derivation_cache_size=0),
+        )
+        for user in workload.users:
+            for query in queries:
+                full = visible_cells(unshed.authorize(user, query))
+                previous = full
+                for floor in range(1, EMPTY_LEVEL + 1):
+                    shed = shed_engine.authorize_degraded(
+                        user, query, floor,
+                        reason="admission shed (property test)",
+                    )
+                    assert shed.degradation_level >= floor
+                    cells = visible_cells(shed)
+                    assert cells <= full, (
+                        f"seed={seed} floor={floor} {user}: shed "
+                        f"answer delivered outside the unshed mask"
+                    )
+                    assert cells <= previous, (
+                        f"seed={seed} floor={floor} {user}: deeper "
+                        f"shed delivered more than shallower shed"
+                    )
+                    previous = cells
+                assert previous == set(), (
+                    f"seed={seed} {user}: the EMPTY floor delivered"
+                )
 
 
 @pytest.mark.parametrize("name", sorted(CASES))

@@ -1,9 +1,17 @@
 """Unit tests for workload generation and the bundled scenarios."""
 
+import pytest
+
 from repro.calculus.normalize import normalize_view
 from repro.core.mask import MASKED
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 from repro.workloads.paperdb import build_paper_database
+from repro.workloads.traffic import (
+    TrafficSpec,
+    build_traffic,
+    client_users,
+    fresh_stack,
+)
 
 
 class TestGeneratorDeterminism:
@@ -160,3 +168,87 @@ class TestScenarios:
             "engmgr", "retrieve (EMP.ENAME, EMP.SALARY)"
         )
         assert all(row[1] is MASKED for row in answer.delivered)
+
+
+class TestTrafficScripts:
+    def test_same_spec_same_script(self):
+        spec = TrafficSpec(clients=4, ops_per_client=25, seed=5,
+                           churn_every=4)
+        first = build_traffic(spec)
+        second = build_traffic(spec)
+        assert first.clients == second.clients
+
+    def test_different_seeds_differ(self):
+        a = build_traffic(TrafficSpec(clients=4, seed=1))
+        b = build_traffic(TrafficSpec(clients=4, seed=2))
+        assert a.clients != b.clients
+
+    def test_fresh_stack_is_reproducible_and_independent(self):
+        spec = TrafficSpec(clients=3, users_per_client=2, seed=8)
+        one = fresh_stack(spec)
+        two = fresh_stack(spec)
+        assert one.catalog is not two.catalog
+        assert one.users == two.users
+        for user in one.users:
+            assert one.catalog.views_of(user) == \
+                two.catalog.views_of(user)
+        # Mutating one copy leaves the other untouched.
+        user = one.users[0]
+        for view in list(one.catalog.views_of(user)):
+            one.catalog.revoke(view, user)
+        assert two.catalog.views_of(user)
+
+    def test_clients_own_disjoint_users(self):
+        spec = TrafficSpec(clients=5, users_per_client=3, seed=4)
+        script = build_traffic(spec)
+        workload = fresh_stack(spec)
+        slices = client_users(spec, workload.users)
+        assert len(slices) == spec.clients
+        seen = set()
+        for piece in slices:
+            assert not (set(piece) & seen)
+            seen.update(piece)
+        for client, ops in enumerate(script.clients):
+            for op in ops:
+                assert op.user in slices[client], (
+                    f"client {client} issued an op for a user it "
+                    f"does not own"
+                )
+
+    def test_churn_ops_record_explicit_state(self):
+        """Toggles are scripted as explicit permit/revoke, so replay
+        never depends on catalog state to interpret an op."""
+        spec = TrafficSpec(clients=3, ops_per_client=40, seed=6,
+                           churn_every=3)
+        script = build_traffic(spec)
+        kinds = {op.kind for ops in script.clients for op in ops}
+        assert "permit" in kinds or "revoke" in kinds
+        for ops in script.clients:
+            for op in ops:
+                if op.kind == "query":
+                    assert op.query is not None and op.view is None
+                else:
+                    assert op.view is not None and op.query is None
+
+    def test_zipf_skew_concentrates_queries(self):
+        spec = TrafficSpec(clients=2, ops_per_client=200,
+                           distinct_queries=10, query_skew=1.5,
+                           seed=12)
+        script = build_traffic(spec)
+        counts = {}
+        for ops in script.clients:
+            for op in ops:
+                if op.kind == "query":
+                    counts[str(op.query)] = \
+                        counts.get(str(op.query), 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # The hottest statement dominates the coldest heavily.
+        assert ranked[0] >= 5 * ranked[-1]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(clients=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(users_per_client=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(distinct_queries=0)
