@@ -44,6 +44,12 @@ from repro.algebra import (
     build_database,
     make_schema,
 )
+from repro.backends import (
+    ExecutionBackend,
+    PythonBackend,
+    SQLiteBackend,
+    make_backend,
+)
 from repro.calculus import (
     AttrRef,
     Condition,
@@ -96,6 +102,7 @@ __all__ = [
     "Database",
     "DatabaseSchema",
     "EngineConfig",
+    "ExecutionBackend",
     "FrontEnd",
     "INTEGER",
     "InferredPermit",
@@ -106,12 +113,14 @@ __all__ = [
     "ParseError",
     "PermissionCatalog",
     "PermitCommand",
+    "PythonBackend",
     "Query",
     "REAL",
     "Relation",
     "RelationSchema",
     "ReproError",
     "RevokeCommand",
+    "SQLiteBackend",
     "STRING",
     "SafetyError",
     "SchemaError",
@@ -119,6 +128,7 @@ __all__ = [
     "ViewDefinition",
     "build_database",
     "format_statement",
+    "make_backend",
     "make_schema",
     "parse_program",
     "parse_query",

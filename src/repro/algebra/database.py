@@ -26,6 +26,13 @@ class Database:
         self._instances: Dict[str, Relation] = {
             rel.name: Relation.from_schema(rel, ()) for rel in schema
         }
+        # Per-relation mutation counters.  Execution backends that
+        # keep their own copy of the data (repro.backends) compare
+        # these against the versions they loaded and re-sync only the
+        # relations that actually changed.
+        self._versions: Dict[str, int] = {
+            rel.name: 0 for rel in schema
+        }
 
     # ------------------------------------------------------------------
     # schema-level operations
@@ -36,6 +43,7 @@ class Database:
         """Add a new relation scheme and (optionally) its rows."""
         self.schema.add(schema)
         self._instances[schema.name] = Relation.from_schema(schema, rows)
+        self._bump(schema.name)
 
     def relation_names(self) -> Tuple[str, ...]:
         """Names of all relations, in registration order."""
@@ -56,10 +64,25 @@ class Database:
         except KeyError:
             raise UnknownRelationError(name) from None
 
+    def version_of(self, name: str) -> int:
+        """Mutation counter of relation ``name``.
+
+        Bumped by every :meth:`load`, :meth:`insert`, :meth:`delete`
+        and :meth:`add_relation`; never decreases.  Backends use it to
+        detect stale copies without comparing row sets.
+        """
+        if name not in self.schema:
+            raise UnknownRelationError(name)
+        return self._versions.get(name, 0)
+
+    def _bump(self, name: str) -> None:
+        self._versions[name] = self._versions.get(name, 0) + 1
+
     def load(self, name: str, rows: Iterable[Row]) -> None:
         """Replace the instance of relation ``name`` with ``rows``."""
         schema = self.schema.get(name)
         self._instances[name] = Relation.from_schema(schema, rows)
+        self._bump(name)
 
     def insert(self, name: str, row: Row) -> None:
         """Insert a single row into relation ``name``.
@@ -71,6 +94,7 @@ class Database:
         self._instances[name] = Relation.from_schema(
             schema, list(current.rows) + [tuple(row)]
         )
+        self._bump(name)
 
     def delete(self, name: str, rows: Iterable[Row]) -> int:
         """Delete ``rows`` from relation ``name``; returns rows removed."""
@@ -80,6 +104,7 @@ class Database:
         removed = current.cardinality - len(remaining)
         schema = self.schema.get(name)
         self._instances[name] = Relation.from_schema(schema, remaining)
+        self._bump(name)
         return removed
 
     def total_rows(self) -> int:

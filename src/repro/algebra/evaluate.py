@@ -9,8 +9,8 @@ the same tables the paper prints.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from functools import reduce
 from typing import List, Tuple
 
 from repro.algebra.database import Database
@@ -45,10 +45,17 @@ def trace_naive(query: PSJQuery, database: Database) -> EvaluationTrace:
     operands: Tuple[Relation, ...] = tuple(
         database.instance(occ.relation) for occ in query.occurrences
     )
-    product = reduce(Relation.product, operands)
-    # Relabel to the paper's display convention (ATTR or ATTR:k).
-    product = Relation(query.product_columns(database.schema), product.rows,
-                       validate=False)
+    # Build the product directly under the paper's display labels
+    # (ATTR or ATTR:k).  A pairwise reduce would materialize one
+    # intermediate Relation per operand and then a final relabeling
+    # copy re-walking the whole row set — on large products that is a
+    # full extra dedupe pass over every row for the wrapper alone.
+    combos = itertools.product(*(operand.rows for operand in operands))
+    product = Relation(
+        query.product_columns(database.schema),
+        (tuple(itertools.chain.from_iterable(combo)) for combo in combos),
+        validate=False,
+    )
 
     after_selections: List[Relation] = []
     current = product

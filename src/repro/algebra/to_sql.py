@@ -1,0 +1,306 @@
+"""Compiling PSJ plans — and mask predicates — into SQL.
+
+The paper fixes *what* to evaluate (a product–selection–projection
+plan and the mask A' derived alongside it) but not *where*.  The
+pluggable execution backends (:mod:`repro.backends`) push both down
+into an embedded SQL engine; this module is the shared compiler.
+
+Two translations are provided:
+
+* :func:`plan_to_sql` — a :class:`~repro.algebra.expression.PSJQuery`
+  becomes one ``SELECT DISTINCT`` over the cross join of its
+  occurrences, with every atomic condition as a ``WHERE`` conjunct.
+  ``DISTINCT`` matches :class:`~repro.algebra.relation.Relation`'s set
+  semantics.
+* :func:`masked_plan_to_sql` — wraps the plan SELECT in an outer query
+  that applies a :class:`MaskPredicateView` (the SQL-extractable form
+  of a mask, built by
+  :func:`repro.core.compiled_mask.sql_predicate_view`): each output
+  column becomes ``CASE WHEN <visible> THEN column END``, so masking
+  happens *inside* the query engine and fully masked cells come back
+  as SQL ``NULL`` (the stored domains never produce NULL, so the
+  backend can translate NULL to the ``MASKED`` sentinel unambiguously).
+
+The emitted SQL sticks to a portable SQL-92 subset — quoted
+identifiers, inline escaped literals, ``CASE``, ``<>`` — shared by the
+sqlite3 and DuckDB drivers.  Tables are named after relations; the
+columns of a relation of arity n are ``c0 .. c{n-1}``, and the plan's
+output columns are aliased ``a0 .. a{k-1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.algebra.expression import Col, Operand, PSJQuery
+from repro.algebra.schema import DatabaseSchema
+from repro.algebra.types import Value
+from repro.errors import BackendError
+from repro.predicates.comparators import Comparator
+from repro.predicates.intervals import Interval
+
+#: Comparator → SQL spelling (NE is ``<>`` for dialect portability).
+_COMPARATOR_SQL = {
+    Comparator.LT: "<",
+    Comparator.LE: "<=",
+    Comparator.GT: ">",
+    Comparator.GE: ">=",
+    Comparator.EQ: "=",
+    Comparator.NE: "<>",
+}
+
+#: Dialect-portable boolean literals (DuckDB has TRUE/FALSE, older
+#: SQLite does not; ``(1=1)``/``(1=0)`` work everywhere).
+SQL_TRUE = "(1=1)"
+SQL_FALSE = "(1=0)"
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote ``name`` as a SQL identifier."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def table_name(relation: str) -> str:
+    """The SQL table holding relation ``relation``."""
+    return quote_identifier(relation)
+
+
+def column_name(index: int) -> str:
+    """The SQL column holding attribute position ``index``."""
+    return f"c{index}"
+
+
+def output_name(index: int) -> str:
+    """The alias of the plan's ``index``-th output column."""
+    return f"a{index}"
+
+
+def sql_literal(value: Value) -> str:
+    """Render a database value as an inline SQL literal."""
+    if isinstance(value, bool):  # bool subclasses int; domains forbid it
+        raise BackendError(f"boolean value {value!r} has no SQL literal")
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    raise BackendError(f"value {value!r} has no SQL literal")
+
+
+def comparator_sql(op: Comparator) -> str:
+    """The SQL spelling of comparator ``op``."""
+    return _COMPARATOR_SQL[op]
+
+
+# ----------------------------------------------------------------------
+# plan compilation
+# ----------------------------------------------------------------------
+
+
+def _product_refs(plan: PSJQuery, schema: DatabaseSchema) -> Tuple[str, ...]:
+    """SQL expression for each positional column of the plan's product."""
+    refs: List[str] = []
+    for index, occ in enumerate(plan.occurrences):
+        arity = schema.get(occ.relation).arity
+        refs.extend(
+            f"t{index}.{column_name(local)}" for local in range(arity)
+        )
+    return tuple(refs)
+
+
+def _operand_sql(operand: Operand, refs: Tuple[str, ...]) -> str:
+    if isinstance(operand, Col):
+        return refs[operand.index]
+    return sql_literal(operand.value)
+
+
+def plan_to_sql(plan: PSJQuery, schema: DatabaseSchema) -> str:
+    """Compile ``plan`` into a single ``SELECT DISTINCT`` statement.
+
+    Self-joins work because each occurrence gets its own table alias
+    ``t0, t1, ...`` — the positional product columns of the plan map
+    one-to-one onto ``t{occurrence}.c{local}`` references, so the
+    ``ATTR:k`` relabelling of the Python evaluator needs no SQL
+    counterpart (positions, not labels, carry the semantics).
+    """
+    refs = _product_refs(plan, schema)
+    select = ", ".join(
+        f"{refs[position]} AS {output_name(k)}"
+        for k, position in enumerate(plan.output)
+    )
+    tables = ", ".join(
+        f"{table_name(occ.relation)} AS t{index}"
+        for index, occ in enumerate(plan.occurrences)
+    )
+    sql = f"SELECT DISTINCT {select} FROM {tables}"
+    if plan.conditions:
+        conjuncts = " AND ".join(
+            f"{_operand_sql(c.lhs, refs)} {comparator_sql(c.op)} "
+            f"{_operand_sql(c.rhs, refs)}"
+            for c in plan.conditions
+        )
+        sql += f" WHERE {conjuncts}"
+    return sql
+
+
+# ----------------------------------------------------------------------
+# mask predicates
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MaskPredicateRow:
+    """One mask row in SQL-evaluable form.
+
+    All members reference *output column positions* of the plan the
+    mask applies to.  The row admits an answer tuple when every
+    constant check, equality group, interval check, and relation check
+    holds; its ``star_set`` columns are then visible for that tuple.
+
+    Attributes:
+        star_set: output positions this row delivers when it matches.
+        const_checks: ``(position, value)`` equality checks from
+            constant cells.
+        eq_groups: positions that must all hold one value (repeated
+            variables).
+        interval_checks: ``(position, interval)`` — the value at
+            ``position`` must lie in ``interval`` (already carved out
+            of the row's constraint store).
+        relation_checks: ``(left, op, right)`` comparisons between two
+            bound positions (variable-to-variable constraints whose
+            variables all appear in the row's cells).
+    """
+
+    star_set: FrozenSet[int]
+    const_checks: Tuple[Tuple[int, Value], ...]
+    eq_groups: Tuple[Tuple[int, ...], ...]
+    interval_checks: Tuple[Tuple[int, Interval], ...]
+    relation_checks: Tuple[Tuple[int, Comparator, int], ...]
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True when the row matches every answer tuple."""
+        return not (self.const_checks or self.eq_groups
+                    or self.interval_checks or self.relation_checks)
+
+
+@dataclass(frozen=True)
+class MaskPredicateView:
+    """A whole mask as SQL-evaluable predicates.
+
+    Produced by :func:`repro.core.compiled_mask.sql_predicate_view`
+    when (and only when) every row's semantics can be expressed as
+    direct positional checks — differentially identical to the
+    interpreted :meth:`repro.core.mask.Mask.visible_positions`.
+
+    Attributes:
+        ncols: arity of the masked answer.
+        always_visible: output positions delivered for every tuple
+            (the union of unconditional rows' stars).
+        rows: the conditional rows.
+    """
+
+    ncols: int
+    always_visible: FrozenSet[int]
+    rows: Tuple[MaskPredicateRow, ...]
+
+    @property
+    def covers_all(self) -> bool:
+        """Every column of every tuple is visible."""
+        return self.ncols > 0 and len(self.always_visible) == self.ncols
+
+
+def _interval_sql(ref: str, interval: Interval) -> List[str]:
+    """Conjuncts asserting ``ref`` lies in ``interval``."""
+    norm = interval.normalized()
+    conjuncts: List[str] = []
+    if norm.lo is not None:
+        op = ">" if norm.lo_strict else ">="
+        conjuncts.append(f"{ref} {op} {sql_literal(norm.lo)}")
+    if norm.hi is not None:
+        op = "<" if norm.hi_strict else "<="
+        conjuncts.append(f"{ref} {op} {sql_literal(norm.hi)}")
+    for value in sorted(norm.excluded, key=repr):
+        conjuncts.append(f"{ref} <> {sql_literal(value)}")
+    return conjuncts
+
+
+def row_predicate_sql(row: MaskPredicateRow,
+                      refs: Tuple[str, ...]) -> str:
+    """The SQL condition under which ``row`` matches a tuple."""
+    conjuncts: List[str] = []
+    for position, value in row.const_checks:
+        conjuncts.append(f"{refs[position]} = {sql_literal(value)}")
+    for group in row.eq_groups:
+        first = refs[group[0]]
+        conjuncts.extend(
+            f"{first} = {refs[position]}" for position in group[1:]
+        )
+    for position, interval in row.interval_checks:
+        conjuncts.extend(_interval_sql(refs[position], interval))
+    for left, op, right in row.relation_checks:
+        conjuncts.append(
+            f"{refs[left]} {comparator_sql(op)} {refs[right]}"
+        )
+    if not conjuncts:
+        return SQL_TRUE
+    return "(" + " AND ".join(conjuncts) + ")"
+
+
+def visibility_sql(view: MaskPredicateView,
+                   refs: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Per-column SQL conditions: is output column ``j`` visible?
+
+    Column ``j`` is visible for a tuple iff ``j`` is always visible or
+    some row starring ``j`` matches the tuple — the union semantics of
+    ``Mask.visible_positions``, as a disjunction.
+    """
+    conditions: List[str] = []
+    for j in range(view.ncols):
+        if j in view.always_visible:
+            conditions.append(SQL_TRUE)
+            continue
+        matches = [
+            row_predicate_sql(row, refs)
+            for row in view.rows if j in row.star_set
+        ]
+        if not matches:
+            conditions.append(SQL_FALSE)
+        elif len(matches) == 1:
+            conditions.append(matches[0])
+        else:
+            conditions.append("(" + " OR ".join(matches) + ")")
+    return tuple(conditions)
+
+
+def masked_plan_to_sql(plan: PSJQuery, schema: DatabaseSchema,
+                       view: MaskPredicateView,
+                       drop_fully_masked: bool = False) -> str:
+    """Compile ``plan`` masked by ``view`` into one SQL statement.
+
+    The plan SELECT becomes a subquery ``q``; the outer SELECT turns
+    each output column into ``CASE WHEN <visible_j> THEN a{j} END``,
+    yielding NULL exactly where the mask withholds a cell.  With
+    ``drop_fully_masked`` the outer WHERE keeps only tuples some row
+    (or an always-visible column) delivers at least one cell of.
+    """
+    if len(plan.output) != view.ncols:
+        raise BackendError(
+            f"mask arity {view.ncols} does not match plan output "
+            f"arity {len(plan.output)}"
+        )
+    inner = plan_to_sql(plan, schema)
+    refs = tuple(output_name(j) for j in range(view.ncols))
+    visible = visibility_sql(view, refs)
+    select = ", ".join(
+        f"CASE WHEN {condition} THEN {ref} END AS m{j}"
+        for j, (condition, ref) in enumerate(zip(visible, refs))
+    )
+    sql = f"SELECT {select} FROM ({inner}) AS q"
+    if drop_fully_masked and not view.always_visible:
+        matches = [row_predicate_sql(row, refs) for row in view.rows]
+        any_visible = " OR ".join(matches) if matches else SQL_FALSE
+        sql += f" WHERE {any_visible}"
+    return sql

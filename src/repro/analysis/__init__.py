@@ -18,6 +18,8 @@ SL006     examples and workloads never read relations around
           ``engine.authorize``
 SL007     strict annotation coverage (the offline face of the
           ``mypy --strict`` CI gate)
+SL008     every execution backend has a registered oracle backend
+          and a differential parity test
 ========  ==========================================================
 
 ``docs/STATIC_ANALYSIS.md`` documents each rule, the invariant it

@@ -127,6 +127,44 @@ FAST_PATH_MODULES: FrozenSet[str] = frozenset({
 })
 
 # ----------------------------------------------------------------------
+# SL008 — execution-backend parity
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """An execution backend's oracle and differential parity suite."""
+
+    oracle: str  # dotted qualname of the oracle backend class
+    test: str    # repo-relative path of the parity test module
+
+
+#: Every non-oracle execution backend must appear here, paired with
+#: the oracle backend it must stay sorted-row identical to and the
+#: differential suite that enforces the identity (the backend analogue
+#: of :data:`FAST_PATHS`).
+EXECUTION_BACKENDS: Dict[str, BackendEntry] = {
+    "repro.backends.sqlite.SQLiteBackend": BackendEntry(
+        oracle="repro.backends.python.PythonBackend",
+        test="tests/property/test_backend_parity.py",
+    ),
+    "repro.backends.duckdb.DuckDBBackend": BackendEntry(
+        oracle="repro.backends.python.PythonBackend",
+        test="tests/property/test_backend_parity.py",
+    ),
+}
+
+#: Backend-shaped classes that need no parity entry: the protocol
+#: itself and the oracle (a backend cannot oracle itself).
+BACKEND_EXEMPT: FrozenSet[str] = frozenset({
+    "repro.backends.base.ExecutionBackend",
+    "repro.backends.python.PythonBackend",
+})
+
+#: Module prefix the backend-discovery sweep patrols.
+BACKEND_MODULE_PREFIX = "repro.backends."
+
+# ----------------------------------------------------------------------
 # SL006 — no authorize bypass in examples/workloads
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,99 @@
+"""The execution-backend protocol.
+
+The paper's authorization process separates *what* to compute — the
+plan A and the mask A' — from *where* the data-plane half runs.  An
+:class:`ExecutionBackend` owns that second half: it holds (a copy of,
+or a reference to) the database instance and evaluates PSJ plans
+against it, optionally applying the mask inside its own engine.
+
+Three implementations ship with the library (see
+:func:`repro.backends.make_backend`):
+
+* ``python`` — :class:`repro.backends.python.PythonBackend`, the
+  in-process reference evaluator.  It *is* the differential oracle:
+  every other backend must be sorted-row identical to it
+  (``tests/property/test_backend_parity.py``, soundlint rule SL008).
+* ``sqlite`` — :class:`repro.backends.sqlite.SQLiteBackend`, compiling
+  plans (and SQL-extractable masks) into single statements over an
+  embedded stdlib ``sqlite3`` store.
+* ``duckdb`` — :class:`repro.backends.duckdb.DuckDBBackend`, the same
+  SQL compiler over the optional ``duckdb`` driver.
+
+The protocol is deliberately small: the engine only ever needs
+:meth:`ExecutionBackend.execute` (the authorize path applies masks
+itself so the audited answer and the delivered rows stay consistent),
+while :meth:`ExecutionBackend.execute_masked` is the data-plane API
+that lets SQL backends mask *inside* the query engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+from repro.algebra.database import Database
+from repro.algebra.expression import PSJQuery
+from repro.algebra.relation import Relation
+from repro.core.compiled_mask import CompiledMask
+from repro.core.mask import Mask
+
+#: Rows delivered by ``execute_masked``: answer tuples whose hidden
+#: cells hold the ``MASKED`` sentinel — the exact return type of
+#: :meth:`repro.core.mask.Mask.apply`.
+DeliveredRows = Tuple[Tuple, ...]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where PSJ plans run.
+
+    Implementations must be safe to call from multiple worker threads
+    (the serving layer shares one backend per tenant engine) and must
+    observe mutations of the loaded :class:`Database` — the SQL
+    backends do so through :meth:`Database.version_of` counters, the
+    Python backend reads the live instances directly.
+    """
+
+    #: The factory name of this backend (``"python"``, ``"sqlite"``...).
+    name: str
+
+    def load(self, database: Database) -> None:
+        """Attach ``database`` as this backend's data source.
+
+        SQL backends bulk-load every relation into their embedded
+        store here (chunked inserts); later mutations are picked up
+        per-plan by comparing mutation counters.
+        """
+
+    def execute(self, plan: PSJQuery) -> Relation:
+        """Evaluate ``plan``, returning the (unmasked) answer A.
+
+        Must equal ``evaluate_optimized(plan, database)`` as a set of
+        rows — row *order* is backend-specific, and
+        :class:`~repro.algebra.relation.Relation` equality is set
+        equality, so callers never depend on it.
+
+        Raises:
+            BackendError: when no database is loaded or the embedded
+                engine fails; inside ``authorize`` the fail-closed
+                boundary turns this into an empty-mask answer.
+        """
+        ...
+
+    def execute_masked(
+        self,
+        plan: PSJQuery,
+        mask: Mask,
+        compiled: Optional[CompiledMask] = None,
+        drop_fully_masked: bool = False,
+    ) -> DeliveredRows:
+        """Evaluate ``plan`` and apply ``mask``, in one round trip.
+
+        Returns exactly what ``mask.apply(execute(plan), ...)`` would
+        (up to row order): answer tuples with withheld cells replaced
+        by the ``MASKED`` sentinel, fully masked tuples optionally
+        dropped.  SQL backends push SQL-extractable masks into the
+        statement itself (``CASE WHEN`` per column) and fall back to
+        the Python matchers — ``compiled`` when given, else the
+        interpreted ``mask`` — for the rest.
+        """
+        ...

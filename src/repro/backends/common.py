@@ -1,0 +1,228 @@
+"""Shared machinery of the SQL execution backends.
+
+:class:`_SQLBackend` implements the whole
+:class:`~repro.backends.base.ExecutionBackend` protocol on top of two
+driver-specific template methods — :meth:`_SQLBackend._connect` and
+:meth:`_SQLBackend._column_decl` — so the sqlite3 and DuckDB backends
+differ only in how they open a connection and declare columns.
+
+Data movement and staleness:
+
+* :meth:`_SQLBackend.load` bulk-loads every relation with chunked
+  ``executemany`` inserts (``_chunk_rows`` rows per batch, so a
+  10^6-row relation never materializes one giant parameter list).
+* Each relation's :meth:`~repro.algebra.database.Database.version_of`
+  counter is recorded at load time; before running a plan the backend
+  re-syncs exactly the referenced relations whose counters moved.
+  Mutating one relation of a wide schema therefore reloads one table.
+
+Thread safety: one lock serializes every store access (sync + query),
+matching the serving layer's one-backend-per-tenant sharing.  Driver
+exceptions are translated to :class:`~repro.errors.BackendError` at
+this boundary — narrowly, via each driver's declared error types — so
+the engine's fail-closed boundary sees a library error, never a raw
+driver one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.algebra.database import Database
+from repro.algebra.expression import PSJQuery
+from repro.algebra.relation import Column, Relation, Row
+from repro.algebra.to_sql import (
+    masked_plan_to_sql,
+    plan_to_sql,
+    table_name,
+)
+from repro.core.compiled_mask import CompiledMask, sql_predicate_view
+from repro.core.mask import MASKED, Mask
+from repro.errors import BackendError
+
+
+class _SQLBackend:
+    """Template base for backends that run plans in a SQL engine."""
+
+    name = "sql"
+
+    #: Driver exception types translated to :class:`BackendError`.
+    _driver_errors: Tuple[Type[BaseException], ...] = ()
+
+    #: Rows per ``executemany`` batch during bulk load.
+    _chunk_rows = 20_000
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self._lock = threading.Lock()
+        self._database: Optional[Database] = None
+        #: Relation name -> mutation counter it was loaded at.
+        self._loaded: Dict[str, int] = {}
+        #: Relations for which a table exists in the store.
+        self._created: Set[str] = set()
+        self._connection = self._connect()
+        if database is not None:
+            self.load(database)
+
+    # ------------------------------------------------------------------
+    # driver template methods
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> Any:
+        """Open the embedded store; returns a DB-API-ish connection."""
+        raise NotImplementedError
+
+    def _column_decl(self, column: Column, index: int) -> str:
+        """The ``CREATE TABLE`` declaration of ``column``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # protocol: load
+    # ------------------------------------------------------------------
+
+    def load(self, database: Database) -> None:
+        """Attach ``database`` and bulk-load every relation."""
+        with self._lock:
+            for name in self._created:
+                self._execute_locked(
+                    f"DROP TABLE IF EXISTS {table_name(name)}"
+                )
+            self._created.clear()
+            self._loaded.clear()
+            self._database = database
+            self._sync_locked(database.relation_names())
+
+    def _require_database(self) -> Database:
+        database = self._database
+        if database is None:
+            raise BackendError(
+                f"backend {self.name!r} has no database loaded"
+            )
+        return database
+
+    def _sync_locked(self, names: Sequence[str]) -> None:
+        """Reload exactly the relations whose mutation counter moved."""
+        database = self._require_database()
+        for name in names:
+            version = database.version_of(name)
+            if self._loaded.get(name) == version:
+                continue
+            self._load_relation_locked(name, database.instance(name))
+            self._loaded[name] = version
+
+    def _load_relation_locked(self, name: str,
+                              relation: Relation) -> None:
+        table = table_name(name)
+        if name in self._created:
+            self._execute_locked(f"DELETE FROM {table}")
+        else:
+            decls = ", ".join(
+                self._column_decl(column, index)
+                for index, column in enumerate(relation.columns)
+            )
+            self._execute_locked(f"CREATE TABLE {table} ({decls})")
+            self._created.add(name)
+        placeholders = ", ".join(["?"] * relation.arity)
+        insert = f"INSERT INTO {table} VALUES ({placeholders})"
+        rows = relation.rows
+        for start in range(0, len(rows), self._chunk_rows):
+            self._executemany_locked(
+                insert, rows[start:start + self._chunk_rows]
+            )
+
+    # ------------------------------------------------------------------
+    # protocol: execute
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PSJQuery) -> Relation:
+        """Run ``plan`` as one ``SELECT DISTINCT`` in the store."""
+        database = self._require_database()
+        plan.validate(database.schema)
+        sql = plan_to_sql(plan, database.schema)
+        with self._lock:
+            self._sync_locked(plan.relation_names())
+            rows = self._fetch_locked(sql)
+        return Relation(
+            plan.output_columns(database.schema),
+            (tuple(row) for row in rows),
+            validate=False,
+        )
+
+    def execute_masked(
+        self,
+        plan: PSJQuery,
+        mask: Mask,
+        compiled: Optional[CompiledMask] = None,
+        drop_fully_masked: bool = False,
+    ) -> Tuple[Tuple, ...]:
+        """Run ``plan`` with ``mask`` pushed into the SQL statement.
+
+        When the mask is SQL-extractable
+        (:func:`repro.core.compiled_mask.sql_predicate_view`), masking
+        happens inside the query engine: one statement computes the
+        answer and nulls out hidden cells, and the only Python-side
+        work is translating NULL back to the ``MASKED`` sentinel
+        (sound because the stored domains never produce NULL).  A mask
+        with inexpressible rows falls back to evaluating the plan in
+        SQL and masking with the Python matchers.
+        """
+        database = self._require_database()
+        plan.validate(database.schema)
+        view = sql_predicate_view(mask)
+        if view is None:
+            answer = self.execute(plan)
+            if compiled is not None:
+                return compiled.apply(
+                    answer, drop_fully_masked=drop_fully_masked
+                )
+            return mask.apply(
+                answer, drop_fully_masked=drop_fully_masked
+            )
+        if view.covers_all:
+            # Every cell of every tuple is visible (the
+            # ``covers_everything`` fast path): the plan's own rows
+            # are the delivered rows.
+            answer = self.execute(plan)
+            return tuple(tuple(values) for values in answer.rows)
+        sql = masked_plan_to_sql(
+            plan, database.schema, view,
+            drop_fully_masked=drop_fully_masked,
+        )
+        with self._lock:
+            self._sync_locked(plan.relation_names())
+            raw = self._fetch_locked(sql)
+        return tuple(
+            tuple(MASKED if value is None else value for value in row)
+            for row in raw
+        )
+
+    # ------------------------------------------------------------------
+    # driver-error boundary
+    # ------------------------------------------------------------------
+
+    def _execute_locked(self, sql: str) -> None:
+        try:
+            self._connection.execute(sql)
+        except self._driver_errors as error:
+            raise BackendError(
+                f"{self.name} statement failed: {error}"
+            ) from error
+
+    def _executemany_locked(self, sql: str,
+                            rows: Sequence[Row]) -> None:
+        try:
+            self._connection.executemany(sql, rows)
+        except self._driver_errors as error:
+            raise BackendError(
+                f"{self.name} bulk insert failed: {error}"
+            ) from error
+
+    def _fetch_locked(self, sql: str) -> List[Tuple[Any, ...]]:
+        try:
+            result: List[Tuple[Any, ...]] = \
+                self._connection.execute(sql).fetchall()
+            return result
+        except self._driver_errors as error:
+            raise BackendError(
+                f"{self.name} query failed: {error}"
+            ) from error

@@ -1,0 +1,64 @@
+"""The optional DuckDB execution backend.
+
+Identical in shape to :class:`~repro.backends.sqlite.SQLiteBackend` —
+same SQL compiler, same chunked loading and version-counter sync —
+but running over the ``duckdb`` driver, whose vectorized engine is
+built for exactly the scan-heavy analytical plans the benchmark
+exercises.
+
+The driver is an *optional* dependency (``pip install repro[backends]``
+— see ``pyproject.toml``); this module imports it lazily so that the
+library, and every non-DuckDB test, works without it.  Constructing
+:class:`DuckDBBackend` without the driver raises
+:class:`~repro.errors.BackendUnavailableError`, which callers like the
+CI backends job and ``tests/test_backends.py`` treat as a skip.
+
+DuckDB columns are typed (there is no NONE affinity), so a REAL-domain
+column is declared DOUBLE and stores Python ints as floats — numerically
+equal, per Relation's set semantics, but a different representative
+object than the Python oracle returns.  The parity bar is therefore
+numeric equality, exactly as for SQLite's DISTINCT representatives.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Optional
+
+from repro.algebra.database import Database
+from repro.algebra.relation import Column
+from repro.algebra.to_sql import column_name
+from repro.backends.common import _SQLBackend
+from repro.errors import BackendUnavailableError
+
+#: Domain name -> DuckDB column type.
+_DUCKDB_TYPES = {
+    "integer": "BIGINT",
+    "real": "DOUBLE",
+    "string": "VARCHAR",
+}
+
+
+class DuckDBBackend(_SQLBackend):
+    """Compile plans and masks into SQL over the DuckDB driver."""
+
+    name = "duckdb"
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        try:
+            self._driver = importlib.import_module("duckdb")
+        except ImportError as error:
+            raise BackendUnavailableError(
+                "duckdb",
+                "the optional duckdb driver is not installed "
+                "(pip install repro[backends])",
+            ) from error
+        self._driver_errors = (self._driver.Error,)
+        super().__init__(database)
+
+    def _connect(self) -> Any:
+        return self._driver.connect(":memory:")
+
+    def _column_decl(self, column: Column, index: int) -> str:
+        sql_type = _DUCKDB_TYPES.get(column.domain.name, "VARCHAR")
+        return f"{column_name(index)} {sql_type}"

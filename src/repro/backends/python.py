@@ -1,0 +1,66 @@
+"""The in-process reference backend (the differential oracle).
+
+Wraps the existing evaluator pipeline — ``evaluate_optimized`` for
+plans, ``Mask.apply`` / ``CompiledMask.apply`` for masking — behind
+the :class:`~repro.backends.base.ExecutionBackend` protocol.  This is
+the backend every engine uses by default, and the oracle the SQL
+backends are differentially tested against
+(``tests/property/test_backend_parity.py``, soundlint rule SL008).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algebra.database import Database
+from repro.algebra.expression import PSJQuery
+from repro.algebra.optimize import evaluate_optimized
+from repro.algebra.relation import Relation
+from repro.core.compiled_mask import CompiledMask
+from repro.core.mask import Mask
+from repro.errors import BackendError
+
+
+class PythonBackend:
+    """Evaluate plans in-process over the live :class:`Database`.
+
+    Holds a *reference* to the database (no copy), so mutations are
+    visible immediately and ``load`` costs nothing — there is no store
+    to synchronize.
+    """
+
+    name = "python"
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self._database = database
+
+    def load(self, database: Database) -> None:
+        """Attach ``database``; the Python backend keeps no copy."""
+        self._database = database
+
+    def _require_database(self) -> Database:
+        database = self._database
+        if database is None:
+            raise BackendError(
+                f"backend {self.name!r} has no database loaded"
+            )
+        return database
+
+    def execute(self, plan: PSJQuery) -> Relation:
+        """Evaluate ``plan`` with the optimized in-process evaluator."""
+        return evaluate_optimized(plan, self._require_database())
+
+    def execute_masked(
+        self,
+        plan: PSJQuery,
+        mask: Mask,
+        compiled: Optional[CompiledMask] = None,
+        drop_fully_masked: bool = False,
+    ) -> Tuple[Tuple, ...]:
+        """Evaluate then mask — the reference composition."""
+        answer = self.execute(plan)
+        if compiled is not None:
+            return compiled.apply(
+                answer, drop_fully_masked=drop_fully_masked
+            )
+        return mask.apply(answer, drop_fully_masked=drop_fully_masked)

@@ -111,6 +111,15 @@ class EngineConfig:
             empty-mask answer (with ``AuthorizedAnswer.error`` set)
             instead of propagating.  Set to False in development to get
             the original traceback.
+        backend: which execution backend evaluates answers —
+            ``"python"`` (the in-process reference evaluator),
+            ``"sqlite"`` (plans compiled to SQL over an embedded
+            stdlib sqlite3 store), or ``"duckdb"`` (the same compiler
+            over the optional duckdb driver).  Delivered answers are
+            backend-independent (``tests/property/
+            test_backend_parity.py``); mask derivation always runs
+            in-process.  See ``repro.backends`` and
+            ``docs/BACKENDS.md``.
     """
 
     refine_selection: bool = True
@@ -131,6 +140,7 @@ class EngineConfig:
     streaming_product: bool = True
     degradation_ladder: bool = True
     fail_closed: bool = True
+    backend: str = "python"
 
     def but(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -41,6 +41,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.relation import Relation, Row
+from repro.algebra.to_sql import MaskPredicateRow, MaskPredicateView
+from repro.algebra.types import Value
 from repro.core.mask import MASKED, Mask
 from repro.meta.metatuple import MetaTuple
 from repro.predicates.intervals import Interval
@@ -238,6 +240,123 @@ def _compile_row(meta: MetaTuple, store: ConstraintStore) -> Optional[
         return None
     return ((tuple(const_positions), tuple(const_values)),
             CompiledRow(star_set, eq_groups, interval_checks, None, None))
+
+
+#: Sentinel distinguishing "row contributes nothing" (None) from "row
+#: cannot be expressed as direct positional checks".
+_NOT_EXTRACTABLE = object()
+
+
+def _extract_row(meta: MetaTuple, store: ConstraintStore) -> object:
+    """Lower one mask row to a :class:`MaskPredicateRow`.
+
+    Returns ``None`` when the row can never deliver a cell (no stars,
+    or provably unsatisfiable constraints), the sentinel
+    ``_NOT_EXTRACTABLE`` when its semantics cannot be written as
+    direct positional checks, and a :class:`MaskPredicateRow`
+    otherwise.  The case analysis mirrors :func:`_compile_row` — the
+    compiled in-Python matcher — except that variable-to-variable
+    relations are extractable only when every store-mentioned variable
+    is bound by a cell: then ``ConstraintStore.satisfied_by`` reduces
+    to per-variable interval membership plus direct pairwise
+    comparisons, which SQL can evaluate.  A relation touching an
+    *unbound* variable keeps its existential reading and stays with
+    the Python matcher.
+    """
+    star_set = frozenset(meta.starred_positions())
+    if not star_set:
+        return None
+
+    const_checks: List[Tuple[int, Value]] = []
+    var_positions: Dict[str, List[int]] = {}
+    for position, cell in enumerate(meta.cells):
+        value = cell.const_value
+        if value is not None:
+            const_checks.append((position, value))
+        else:
+            var = cell.var_name
+            if var is not None:
+                var_positions.setdefault(var, []).append(position)
+
+    eq_groups = tuple(
+        tuple(positions) for positions in var_positions.values()
+        if len(positions) > 1
+    )
+
+    if not var_positions:
+        # No variables: the interpreted matcher never consults the
+        # store (an empty binding short-circuits to True).
+        return MaskPredicateRow(
+            star_set, tuple(const_checks), eq_groups, (), ()
+        )
+
+    if store.is_definitely_unsat():
+        return None
+
+    interval_checks = tuple(
+        (positions[0], interval)
+        for var, positions in var_positions.items()
+        for interval in (store.interval_for(var),)
+        if not interval.is_top
+    )
+    if any(interval.is_empty() for _, interval in interval_checks):
+        return None
+
+    relations = store.relations()
+    if relations:
+        if not store.mentioned_vars() <= frozenset(var_positions):
+            return _NOT_EXTRACTABLE
+        relation_checks = tuple(
+            (var_positions[r.left][0], r.op, var_positions[r.right][0])
+            for r in relations
+        )
+        return MaskPredicateRow(
+            star_set, tuple(const_checks), eq_groups,
+            interval_checks, relation_checks,
+        )
+
+    # Interval-only store: hoisted checks are the whole semantics
+    # unless a residual (unbound) variable is pinned to an empty
+    # interval, which kills the row outright.
+    residual = store.mentioned_vars() - frozenset(var_positions)
+    if any(store.interval_for(var).is_empty() for var in residual):
+        return None
+    return MaskPredicateRow(
+        star_set, tuple(const_checks), eq_groups, interval_checks, ()
+    )
+
+
+def sql_predicate_view(mask: Mask) -> Optional[MaskPredicateView]:
+    """The SQL-extractable predicate view of ``mask``, if one exists.
+
+    ``None`` means some row's matching semantics cannot be expressed
+    as direct positional checks (a variable-to-variable constraint
+    mentioning a variable no cell binds); the SQL backends then fall
+    back to evaluating the plan in SQL and applying the mask with the
+    Python matchers.  When a view *is* returned, evaluating its
+    predicates is differentially identical to the interpreted
+    :meth:`repro.core.mask.Mask.visible_positions`
+    (``tests/property/test_backend_parity.py``).
+    """
+    always_visible: set = set()
+    rows: List[MaskPredicateRow] = []
+    for mask_row in mask.rows:
+        extracted = _extract_row(mask_row.meta, mask_row.store)
+        if extracted is None:
+            continue
+        if extracted is _NOT_EXTRACTABLE:
+            return None
+        assert isinstance(extracted, MaskPredicateRow)
+        if extracted.is_unconditional:
+            always_visible |= extracted.star_set
+        else:
+            rows.append(extracted)
+    kept = tuple(
+        row for row in rows if not row.star_set <= always_visible
+    )
+    return MaskPredicateView(
+        len(mask.columns), frozenset(always_visible), kept
+    )
 
 
 def compile_mask(mask: Mask) -> CompiledMask:

@@ -4,7 +4,9 @@
 actual relations (yielding the answer A) and over the meta-relations
 (yielding the mask A') — applies the mask to the answer, and attaches
 the inferred permit statements.  Users direct queries at the actual
-database; views never act as access windows.
+database; views never act as access windows.  The answer half runs
+through a pluggable execution backend (``EngineConfig.backend``, see
+:mod:`repro.backends`); mask derivation is backend-independent.
 
 Two derived artifacts are memoized, following Section 5's advice that
 derived results "should be stored with the original view definitions,
@@ -34,12 +36,13 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import ExecutionBackend
     from repro.core.audit import AuditLog
 
 from repro.algebra.database import Database
 from repro.algebra.expression import PSJQuery
-from repro.algebra.optimize import evaluate_optimized
 from repro.algebra.relation import Relation
+from repro.backends import make_backend
 from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
@@ -83,6 +86,13 @@ class AuthorizationEngine:
         self.database = database
         self.catalog = catalog or PermissionCatalog(database.schema)
         self.config = config
+        #: Where plans run (see repro.backends).  Built once per
+        #: engine from ``config.backend``; an unknown or unavailable
+        #: backend name fails construction, not a later authorize —
+        #: misconfiguration should never masquerade as a denial.
+        self.backend: "ExecutionBackend" = make_backend(
+            config.backend, database
+        )
         #: Optional audit trail; every authorize() appends a record.
         self.audit = audit
         # Per-user self-join closures, each tagged with the catalog
@@ -165,10 +175,24 @@ class AuthorizationEngine:
     def _authorize_plan(self, user: str, query: Query,
                         plan: PSJQuery) -> AuthorizedAnswer:
         """The unprotected authorize path (inside the boundary)."""
-        maybe_fault("engine.evaluate")
-        answer = evaluate_optimized(plan, self.database)
+        answer = self._evaluate(plan)
         derivation, hit = self._derive_plan(user, plan)
         return self._assemble(user, query, plan, answer, derivation, hit)
+
+    def _evaluate(self, plan: PSJQuery) -> Relation:
+        """Evaluate ``plan`` through the configured execution backend.
+
+        The single answer-evaluation site of both authorize paths
+        (full-fidelity and degraded), and therefore the place where
+        both evaluation fault-injection points fire:
+        ``engine.evaluate`` (the historical site name) and
+        ``backend.execute`` (the backend hop).  Backend failures
+        propagate to the fail-closed boundary like any other internal
+        error.
+        """
+        maybe_fault("engine.evaluate")
+        maybe_fault("backend.execute")
+        return self.backend.execute(plan)
 
     def authorize_batch(
         self, user: str, queries: Iterable[Union[Query, str]]
@@ -299,8 +323,7 @@ class AuthorizationEngine:
         if derivation.degradation_level >= EMPTY_LEVEL:
             # Nothing will be delivered: skip answer evaluation too.
             return self._denied_answer(user, query, plan, reason)
-        maybe_fault("engine.evaluate")
-        answer = evaluate_optimized(plan, self.database)
+        answer = self._evaluate(plan)
         return self._assemble(user, query, plan, answer, derivation, hit)
 
     def _derive_degraded(

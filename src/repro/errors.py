@@ -173,6 +173,31 @@ class FaultInjected(ReproError):
         self.site = site
 
 
+class BackendError(ReproError):
+    """An execution backend failed to load data or run a plan.
+
+    Raised by :mod:`repro.backends` implementations when the embedded
+    query engine rejects a compiled statement or the backend is asked
+    to execute before any database was loaded.  Inside ``authorize``
+    the fail-closed boundary converts it into an empty-mask answer.
+    """
+
+
+class BackendUnavailableError(BackendError):
+    """A requested execution backend cannot be constructed.
+
+    Raised for unknown backend names and for optional backends whose
+    driver module is not installed (e.g. ``duckdb``).
+    """
+
+    def __init__(self, name: str, reason: str = "") -> None:
+        message = f"execution backend {name!r} is unavailable"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.name = name
+
+
 class ServingError(ReproError):
     """The serving layer rejected a request before it reached an engine.
 

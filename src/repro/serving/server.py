@@ -173,18 +173,29 @@ class AuthorizationServer:
         name: str,
         database: Database,
         catalog: Optional[PermissionCatalog] = None,
+        backend: Optional[str] = None,
     ) -> Tenant:
         """Create and register a tenant with a serving-grade engine:
         a lock-striped sharded derivation cache and its own audit
-        trail, fully isolated from every other tenant."""
+        trail, fully isolated from every other tenant.
+
+        ``backend`` overrides the server-wide execution backend for
+        this tenant only (see ``EngineConfig.backend``), so a fleet
+        can mix in-process and SQL-backed tenants; each tenant gets
+        its own backend instance either way.  Unknown or unavailable
+        backend names fail here, synchronously, never at request time.
+        """
         audit: Optional[AuditLog] = None
         if self.config.audit_capacity is None \
                 or self.config.audit_capacity > 0:
             audit = AuditLog(self.config.audit_capacity)
+        engine_config = self.config.engine
+        if backend is not None:
+            engine_config = engine_config.but(backend=backend)
         engine = AuthorizationEngine(
             database,
             catalog=catalog,
-            config=self.config.engine,
+            config=engine_config,
             audit=audit,
             derivation_cache=ShardedDerivationCache(
                 self.config.cache_capacity, self.config.cache_shards

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import ExecutionBackend
 
 from repro.core.audit import AuditLog
 from repro.core.engine import AuthorizationEngine
@@ -30,6 +33,17 @@ class Tenant:
 
     name: str
     engine: AuthorizationEngine
+
+    @property
+    def backend(self) -> "ExecutionBackend":
+        """The tenant engine's execution backend.
+
+        Backends are part of the isolation story: each tenant's
+        backend instance (and, for the SQL backends, its embedded
+        store) is private to that tenant's engine — one tenant's bulk
+        load or re-sync never blocks another's queries.
+        """
+        return self.engine.backend
 
     @property
     def audit(self) -> AuditLog:

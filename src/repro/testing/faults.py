@@ -28,6 +28,7 @@ Sites currently wired (a plan may name any subset):
     ``cache.put``     derivation-cache store
     ``cache.entry``   the cached value itself (``corrupt`` action)
     ``engine.evaluate``  answer evaluation inside ``authorize``
+    ``backend.execute``  the execution-backend hop of that same site
     ``storage.read``  snapshot reading
     ``storage.write`` snapshot writing
     ``storage.fsync`` between temp-file write and atomic rename

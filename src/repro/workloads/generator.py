@@ -18,9 +18,24 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import ExecutionBackend
 
 from repro.algebra.database import Database, build_database
+from repro.algebra.relation import Row
 from repro.algebra.schema import DatabaseSchema, RelationSchema, make_schema
 from repro.algebra.types import INTEGER, STRING
 from repro.calculus.ast import (
@@ -116,6 +131,56 @@ class WorkloadGenerator:
         if domain_name == "string":
             return f"s{self.rng.randrange(spec.string_pool)}"
         return self.rng.randrange(spec.int_range)
+
+    def iter_rows(self, spec: WorkloadSpec, relation: RelationSchema,
+                  count: int) -> Iterator[Tuple[Union[str, int], ...]]:
+        """Lazily generate ``count`` random rows for ``relation``.
+
+        A generator rather than a list so that large-instance builders
+        (:meth:`scaled_instance`, the backend benchmarks) never hold a
+        second copy of a 10^6-row relation: rows stream straight into
+        the consumer.  Duplicates are possible — set semantics dedupe
+        them downstream, so the materialized relation may be smaller
+        than ``count``.
+        """
+        for _ in range(count):
+            yield tuple(
+                self._random_value(spec, attribute.domain.name)
+                for attribute in relation.attributes
+            )
+
+    def scaled_instance(
+        self,
+        spec: WorkloadSpec,
+        db_schema: DatabaseSchema,
+        rows_per_relation: Union[int, Mapping[str, int]],
+        backend: Optional["ExecutionBackend"] = None,
+    ) -> Database:
+        """A random instance with per-relation row counts.
+
+        Unlike :meth:`instance` (which reads ``spec.rows_per_relation``
+        uniformly), this scales each relation independently — an int
+        applies one count to every relation, a mapping sets counts per
+        relation name (missing names fall back to the spec) — and
+        streams rows from :meth:`iter_rows` instead of materializing
+        intermediate lists.  When ``backend`` is given, the finished
+        database is bulk-loaded into it before returning (the SQL
+        backends chunk their inserts, so this is how 10^6-row stores
+        are populated without a giant parameter list).
+        """
+        instances: Dict[str, Iterable[Row]] = {}
+        for rel in db_schema:
+            if isinstance(rows_per_relation, int):
+                count = rows_per_relation
+            else:
+                count = rows_per_relation.get(
+                    rel.name, spec.rows_per_relation
+                )
+            instances[rel.name] = self.iter_rows(spec, rel, count)
+        database = build_database(list(db_schema), instances)
+        if backend is not None:
+            backend.load(database)
+        return database
 
     # ------------------------------------------------------------------
     # views and queries

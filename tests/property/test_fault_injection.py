@@ -42,7 +42,7 @@ seeds = st.integers(min_value=0, max_value=10_000)
 SITES = (
     "plan", "selfjoin", "product", "prune", "selection", "projection",
     "closure", "cache.get", "cache.put", "cache.entry",
-    "engine.evaluate",
+    "engine.evaluate", "backend.execute",
 )
 
 fault_specs = st.tuples(

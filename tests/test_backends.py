@@ -1,0 +1,387 @@
+"""Unit tests for the pluggable execution backends.
+
+The property suite (``tests/property/test_backend_parity.py``) covers
+parity in bulk; these tests pin the edges by hand: the factory, the
+SQL compiler's literals and self-join aliasing, mask-pushdown
+extractability boundaries, empty and all-covering masks, mutation
+sync, fail-closed behaviour at the ``backend.execute`` fault site,
+and the serving layer's per-tenant backend override.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+from repro.algebra.database import build_database
+from repro.algebra.expression import (
+    AtomicCondition,
+    Col,
+    Const,
+    Occurrence,
+    PSJQuery,
+)
+from repro.algebra.relation import Column
+from repro.algebra.schema import make_schema
+from repro.algebra.to_sql import (
+    masked_plan_to_sql,
+    plan_to_sql,
+    sql_literal,
+)
+from repro.algebra.types import INTEGER, STRING
+from repro.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    PythonBackend,
+    SQLiteBackend,
+    make_backend,
+)
+from repro.config import DEFAULT_CONFIG
+from repro.core.compiled_mask import compile_mask, sql_predicate_view
+from repro.core.engine import AuthorizationEngine
+from repro.core.mask import MASKED, Mask
+from repro.errors import BackendError, BackendUnavailableError
+from repro.meta.cell import MetaCell
+from repro.meta.metatuple import MetaTuple
+from repro.metaalgebra.table import MaskRow
+from repro.predicates.comparators import Comparator
+from repro.predicates.store import ConstraintStore
+from repro.serving import AuthorizationServer, ServerConfig
+from repro.testing import faults
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+def small_database():
+    emp = make_schema(
+        "EMP", [("NAME", STRING), ("DEPT", STRING), ("SAL", INTEGER)],
+        key=["NAME"],
+    )
+    dept = make_schema(
+        "DEPT", [("DNAME", STRING), ("BUDGET", INTEGER)], key=["DNAME"],
+    )
+    return build_database([emp, dept], {
+        "EMP": [("amy", "toys", 30), ("bob", "tools", 45),
+                ("cal", "toys", 52), ("o'hara", "tools", 39)],
+        "DEPT": [("toys", 100), ("tools", 200)],
+    })
+
+
+def emp_scan(output=(0, 1, 2), conditions=()):
+    return PSJQuery(
+        (Occurrence("EMP"),), tuple(conditions), tuple(output)
+    )
+
+
+def mask_over(columns, rows):
+    return Mask(tuple(columns), tuple(rows))
+
+
+def int_columns(n):
+    return tuple(Column(f"C{i}", INTEGER) for i in range(n))
+
+
+def star_blank_row(arity):
+    meta = MetaTuple(
+        frozenset({"V"}),
+        tuple(MetaCell.blank(True) for _ in range(arity)),
+        frozenset(),
+    )
+    return MaskRow(meta, ConstraintStore.empty())
+
+
+class TestFactory:
+    def test_known_names(self):
+        database = small_database()
+        assert isinstance(make_backend("python", database),
+                          PythonBackend)
+        assert isinstance(make_backend("sqlite", database),
+                          SQLiteBackend)
+        assert "python" in BACKEND_NAMES
+
+    def test_backends_satisfy_protocol(self):
+        database = small_database()
+        for name in ("python", "sqlite"):
+            assert isinstance(make_backend(name, database),
+                              ExecutionBackend)
+
+    def test_unknown_name_is_refused(self):
+        with pytest.raises(BackendUnavailableError):
+            make_backend("oracle9i")
+
+    def test_duckdb_without_driver_is_unavailable(self):
+        if importlib.util.find_spec("duckdb") is not None:
+            pytest.skip("duckdb driver installed")
+        with pytest.raises(BackendUnavailableError):
+            make_backend("duckdb", small_database())
+
+    def test_execute_before_load_fails(self):
+        for name in ("python", "sqlite"):
+            backend = make_backend(name)
+            with pytest.raises(BackendError):
+                backend.execute(emp_scan())
+
+
+class TestSqlCompiler:
+    def test_literals(self):
+        assert sql_literal(7) == "7"
+        assert sql_literal(2.5) == "2.5"
+        assert sql_literal("o'hara") == "'o''hara'"
+        with pytest.raises(BackendError):
+            sql_literal(True)
+
+    def test_plan_sql_shape(self):
+        database = small_database()
+        plan = emp_scan(
+            output=(0, 2),
+            conditions=[AtomicCondition(Col(2), Comparator.GE,
+                                        Const(40))],
+        )
+        sql = plan_to_sql(plan, database.schema)
+        assert sql.startswith("SELECT DISTINCT ")
+        assert 't0.c0 AS a0' in sql and 't0.c2 AS a1' in sql
+        assert 'FROM "EMP" AS t0' in sql
+        assert "WHERE t0.c2 >= 40" in sql
+
+    def test_mask_arity_mismatch_is_refused(self):
+        database = small_database()
+        view = sql_predicate_view(mask_over(int_columns(3), ()))
+        assert view is not None
+        with pytest.raises(BackendError):
+            masked_plan_to_sql(emp_scan(output=(0,)), database.schema,
+                               view)
+
+    def test_quoted_string_roundtrip(self):
+        database = small_database()
+        plan = emp_scan(
+            output=(0, 1),
+            conditions=[AtomicCondition(Col(0), Comparator.EQ,
+                                        Const("o'hara"))],
+        )
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        assert python.execute(plan) == sqlite.execute(plan)
+        assert sqlite.execute(plan).rows == (("o'hara", "tools"),)
+
+
+class TestSelfJoins:
+    def test_self_join_with_occurrence_relabels(self):
+        # EMP:1 x EMP:2 joined on DEPT, projecting NAME:1, NAME:2 —
+        # the positional aliasing must not care about ATTR:k labels.
+        database = small_database()
+        plan = PSJQuery(
+            (Occurrence("EMP", 1), Occurrence("EMP", 2)),
+            (AtomicCondition(Col(1), Comparator.EQ, Col(4)),
+             AtomicCondition(Col(0), Comparator.NE, Col(3))),
+            (0, 3),
+        )
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        result = sqlite.execute(plan)
+        assert result == python.execute(plan)
+        assert result.labels() == ("NAME:1", "NAME:2")
+        assert ("amy", "cal") in result.rows
+
+
+class TestMaskPushdown:
+    def test_empty_mask_masks_everything(self):
+        database = small_database()
+        plan = emp_scan()
+        empty = mask_over(int_columns(3), ())
+        sqlite = SQLiteBackend(database)
+        delivered = sqlite.execute_masked(plan, empty)
+        assert delivered
+        assert all(
+            cell is MASKED for row in delivered for cell in row
+        )
+        assert sqlite.execute_masked(
+            plan, empty, drop_fully_masked=True
+        ) == ()
+
+    def test_covers_everything_fast_path(self):
+        database = small_database()
+        plan = emp_scan()
+        full = mask_over(int_columns(3), [star_blank_row(3)])
+        view = sql_predicate_view(full)
+        assert view is not None and view.covers_all
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        assert sorted(sqlite.execute_masked(plan, full), key=repr) \
+            == sorted(python.execute_masked(plan, full), key=repr)
+
+    def test_bound_variable_relation_is_extractable(self):
+        # x < y with both variables bound by cells: pure SQL.
+        meta = MetaTuple(
+            frozenset({"V"}),
+            (MetaCell.variable("x", True), MetaCell.variable("y", True)),
+            frozenset(),
+        )
+        store = ConstraintStore.empty().relate("x", Comparator.LT, "y")
+        mask = mask_over(int_columns(2), [MaskRow(meta, store)])
+        view = sql_predicate_view(mask)
+        assert view is not None
+        assert view.rows[0].relation_checks == ((0, Comparator.LT, 1),)
+
+    def test_unbound_variable_relation_falls_back(self):
+        # x < z where z is bound by no cell keeps its existential
+        # reading: not expressible as positional checks.
+        meta = MetaTuple(
+            frozenset({"V"}),
+            (MetaCell.variable("x", True), MetaCell.blank(True)),
+            frozenset(),
+        )
+        store = ConstraintStore.empty().relate("x", Comparator.LT, "z")
+        mask = mask_over(int_columns(2), [MaskRow(meta, store)])
+        assert sql_predicate_view(mask) is None
+        # The fallback still delivers oracle-identical rows.
+        database = small_database()
+        plan = emp_scan(output=(2, 0))
+        salary_mask = mask_over(
+            (Column("SAL", INTEGER), Column("NAME", STRING)),
+            [MaskRow(meta, store)],
+        )
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        for compiled in (None, compile_mask(salary_mask)):
+            assert sorted(
+                sqlite.execute_masked(plan, salary_mask, compiled),
+                key=repr,
+            ) == sorted(
+                python.execute_masked(plan, salary_mask, compiled),
+                key=repr,
+            )
+
+    def test_interval_and_ne_pushdown(self):
+        # 35 <= x, x != 45 — intervals with excluded points become
+        # bound plus <> conjuncts.
+        database = small_database()
+        plan = emp_scan(output=(2,))
+        meta = MetaTuple(
+            frozenset({"V"}), (MetaCell.variable("x", True),),
+            frozenset(),
+        )
+        store = ConstraintStore.empty() \
+            .constrain("x", Comparator.GE, 35) \
+            .constrain("x", Comparator.NE, 45)
+        mask = mask_over((Column("SAL", INTEGER),),
+                         [MaskRow(meta, store)])
+        assert sql_predicate_view(mask) is not None
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        assert sorted(sqlite.execute_masked(plan, mask), key=repr) \
+            == sorted(python.execute_masked(plan, mask), key=repr)
+        visible = {
+            row[0] for row in sqlite.execute_masked(plan, mask)
+            if row[0] is not MASKED
+        }
+        assert visible == {39, 52}
+
+
+class TestMutationSync:
+    def test_insert_delete_load_are_observed(self):
+        database = small_database()
+        plan = emp_scan()
+        python = PythonBackend(database)
+        sqlite = SQLiteBackend(database)
+        assert sqlite.execute(plan) == python.execute(plan)
+        database.insert("EMP", ("dee", "toys", 61))
+        assert sqlite.execute(plan) == python.execute(plan)
+        database.delete("EMP", [("amy", "toys", 30)])
+        assert sqlite.execute(plan) == python.execute(plan)
+        database.load("EMP", [("solo", "toys", 1)])
+        result = sqlite.execute(plan)
+        assert result == python.execute(plan)
+        assert result.rows == (("solo", "toys", 1),)
+
+    def test_untouched_relations_are_not_reloaded(self):
+        database = small_database()
+        sqlite = SQLiteBackend(database)
+        before = dict(sqlite._loaded)
+        database.insert("DEPT", ("io", 5))
+        sqlite.execute(emp_scan())  # touches EMP only
+        assert sqlite._loaded["EMP"] == before["EMP"]
+        assert sqlite._loaded["DEPT"] == before["DEPT"]  # not synced
+        plan = PSJQuery((Occurrence("DEPT"),), (), (0, 1))
+        sqlite.execute(plan)
+        assert sqlite._loaded["DEPT"] == before["DEPT"] + 1
+
+
+class TestEngineIntegration:
+    def test_engine_builds_configured_backend(self):
+        engine = AuthorizationEngine(
+            small_database(),
+            config=DEFAULT_CONFIG.but(backend="sqlite"),
+        )
+        assert engine.backend.name == "sqlite"
+
+    def test_unknown_backend_fails_at_construction(self):
+        with pytest.raises(BackendUnavailableError):
+            AuthorizationEngine(
+                small_database(),
+                config=DEFAULT_CONFIG.but(backend="nope"),
+            )
+
+    def test_backend_fault_fails_closed(self):
+        engine = AuthorizationEngine(
+            small_database(),
+            config=DEFAULT_CONFIG.but(backend="sqlite"),
+        )
+        engine.define_view("view V (EMP.NAME, EMP.DEPT)")
+        engine.permit("V", "u")
+        query = "retrieve (EMP.NAME, EMP.DEPT)"
+        clean = engine.authorize("u", query)
+        assert clean.delivered
+        with faults.inject({"backend.execute": faults.Fault("raise")}):
+            faulted = engine.authorize("u", query)
+        assert faulted.error is not None
+        assert faulted.delivered == ()
+        # And cleanly again afterwards.
+        assert engine.authorize("u", query).delivered \
+            == clean.delivered
+
+
+class TestServingIntegration:
+    def test_per_tenant_backend_override(self):
+        server = AuthorizationServer(ServerConfig(workers=2))
+        try:
+            tenant_py = server.add_tenant("alpha", small_database())
+            tenant_sq = server.add_tenant(
+                "beta", small_database(), backend="sqlite"
+            )
+            assert tenant_py.backend.name == "python"
+            assert tenant_sq.backend.name == "sqlite"
+            for tenant in (tenant_py, tenant_sq):
+                tenant.engine.define_view("view V (EMP.NAME, EMP.SAL)")
+                tenant.engine.permit("V", "u")
+            query = "retrieve (EMP.NAME, EMP.SAL)"
+            a = server.submit("alpha", "u", query).result(timeout=10)
+            b = server.submit("beta", "u", query).result(timeout=10)
+            assert sorted(a.delivered, key=repr) \
+                == sorted(b.delivered, key=repr)
+        finally:
+            server.close()
+
+
+class TestWorkloadBulkLoad:
+    def test_scaled_instance_loads_into_backend(self):
+        generator = WorkloadGenerator(7)
+        spec = WorkloadSpec(seed=7, relations=2)
+        db_schema = generator.schema(spec)
+        backend = SQLiteBackend()
+        database = generator.scaled_instance(
+            spec, db_schema, {"R0": 500, "R1": 20}, backend=backend
+        )
+        # Dedupe may shrink below the requested counts, never grow.
+        assert 0 < database.instance("R0").cardinality <= 500
+        plan = PSJQuery((Occurrence("R0"),), (),
+                        tuple(range(db_schema.get("R0").arity)))
+        assert backend.execute(plan) \
+            == PythonBackend(database).execute(plan)
+
+    def test_scaled_instance_uniform_count(self):
+        generator = WorkloadGenerator(11)
+        spec = WorkloadSpec(seed=11, relations=2)
+        db_schema = generator.schema(spec)
+        database = generator.scaled_instance(spec, db_schema, 64)
+        for rel in db_schema:
+            assert 0 < database.instance(rel.name).cardinality <= 64

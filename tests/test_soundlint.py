@@ -414,6 +414,89 @@ def test_sl007_accepts_full_annotations(tmp_path: Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# SL008 — backend parity
+# ----------------------------------------------------------------------
+
+BACKEND_TREE = {
+    "src/repro/backends/python.py": """
+        class PythonBackend:
+            name = "python"
+    """,
+    "src/repro/backends/sqlite.py": """
+        class SQLiteBackend:
+            name = "sqlite"
+    """,
+    "tests/property/test_backend_parity.py": """
+        # differential: SQLiteBackend vs PythonBackend
+    """,
+}
+
+
+def test_sl008_accepts_registered_backend(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, dict(BACKEND_TREE))
+    assert lint(root, "src", select=["SL008"]).clean
+
+
+def test_sl008_flags_missing_parity_test(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    del files["tests/property/test_backend_parity.py"]
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL008"])
+    assert rules_hit(report) == ["SL008"]
+    assert "missing" in report.violations[0].message
+
+
+def test_sl008_flags_vanished_oracle(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    files["src/repro/backends/python.py"] = "NAME = 'python'\n"
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL008"])
+    assert "oracle" in report.violations[0].message
+
+
+def test_sl008_flags_test_missing_either_class(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    files["tests/property/test_backend_parity.py"] = """
+        # mentions SQLiteBackend but not the reference backend
+    """
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL008"])
+    assert rules_hit(report) == ["SL008"]
+    assert "exercise both" in report.violations[0].message
+
+
+def test_sl008_flags_vanished_registered_backend(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    files["src/repro/backends/sqlite.py"] = "NAME = 'sqlite'\n"
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL008"])
+    assert rules_hit(report) == ["SL008"]
+    assert "no longer exists" in report.violations[0].message
+
+
+def test_sl008_discovers_unregistered_backend(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    files["src/repro/backends/rocks.py"] = """
+        class RocksBackend:
+            name = "rocks"
+    """
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL008"])
+    assert rules_hit(report) == ["SL008"]
+    assert "no registered oracle" in report.violations[0].message
+
+
+def test_sl008_exempts_oracle_and_protocol(tmp_path: Path) -> None:
+    files = dict(BACKEND_TREE)
+    files["src/repro/backends/base.py"] = """
+        class ExecutionBackend:
+            name = "protocol"
+    """
+    root = make_tree(tmp_path, files)
+    assert lint(root, "src", select=["SL008"]).clean
+
+
+# ----------------------------------------------------------------------
 # suppressions, selection, report plumbing
 # ----------------------------------------------------------------------
 
@@ -480,6 +563,7 @@ def test_violations_are_sorted_and_rendered(tmp_path: Path) -> None:
 def test_rule_registry_is_complete() -> None:
     assert set(all_rules()) == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+        "SL008",
     }
     for info in all_rules().values():
         assert info.title and info.rationale
