@@ -78,6 +78,10 @@ MUTATOR_METHODS: FrozenSet[str] = frozenset({
 DETERMINISTIC_MODULES: FrozenSet[str] = frozenset({
     "repro.metaalgebra.canonical",
     "repro.core.cache",
+    # Resilience policy must be replayable: retry schedules hash their
+    # seed instead of sampling, and the breaker's clock is injected.
+    "repro.resilience.retry",
+    "repro.resilience.breaker",
 })
 
 #: Modules whose mere import is a nondeterminism smell in key code.
@@ -163,6 +167,43 @@ BACKEND_EXEMPT: FrozenSet[str] = frozenset({
 
 #: Module prefix the backend-discovery sweep patrols.
 BACKEND_MODULE_PREFIX = "repro.backends."
+
+# ----------------------------------------------------------------------
+# SL009 — failover paths pinned to the registered oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailoverEntry:
+    """A failover path's oracle target and its parity suite."""
+
+    oracle: str  # dotted qualname of the oracle backend class
+    test: str    # repo-relative path of the parity test module
+
+
+#: Every retry/breaker/failover wrapper that can re-route evaluation
+#: away from the configured backend must appear here, paired with the
+#: oracle backend it re-routes *to* and the differential suite proving
+#: the re-routed answers match.  Failing over to anything but the
+#: registered oracle would turn an availability mechanism into a
+#: soundness hole; this registry (checked by rule SL009) forbids it.
+FAILOVER_PATHS: Dict[str, FailoverEntry] = {
+    "repro.resilience.failover.ResilientExecutor": FailoverEntry(
+        oracle="repro.backends.python.PythonBackend",
+        test="tests/test_failover.py",
+    ),
+}
+
+#: Module prefix the failover-discovery sweep patrols: any class here
+#: holding both a primary backend and a fallback target is presumed a
+#: failover path and must be registered.
+FAILOVER_MODULE_PREFIX = "repro.resilience."
+
+#: Attribute names whose *assignment targets* mark a class in the
+#: patrolled modules as failover-shaped (it routes between engines).
+FAILOVER_MARKERS: FrozenSet[str] = frozenset({
+    "oracle", "fallback",
+})
 
 # ----------------------------------------------------------------------
 # SL006 — no authorize bypass in examples/workloads

@@ -8,6 +8,7 @@ from repro.analysis.rules import (  # noqa: F401
     bypass,
     determinism,
     exceptions,
+    failover,
     immutability,
     oracles,
     typing_gate,

@@ -11,6 +11,13 @@ Data movement and staleness:
 * :meth:`_SQLBackend.load` bulk-loads every relation with chunked
   ``executemany`` inserts (``_chunk_rows`` rows per batch, so a
   10^6-row relation never materializes one giant parameter list).
+  Each relation's load is wrapped in an explicit transaction: a
+  failure in any chunk rolls the whole relation back — table
+  creation included — so a failed load leaves the store exactly as
+  it was, and the unchanged ``_loaded`` counter makes the next plan
+  retry the load instead of trusting a half-filled table.  The
+  ``backend.load`` fault site fires per chunk for exactly this
+  scenario.
 * Each relation's :meth:`~repro.algebra.database.Database.version_of`
   counter is recorded at load time; before running a plan the backend
   re-syncs exactly the referenced relations whose counters moved.
@@ -40,6 +47,7 @@ from repro.algebra.to_sql import (
 from repro.core.compiled_mask import CompiledMask, sql_predicate_view
 from repro.core.mask import MASKED, Mask
 from repro.errors import BackendError
+from repro.testing.faults import maybe_fault
 
 
 class _SQLBackend:
@@ -112,23 +120,54 @@ class _SQLBackend:
 
     def _load_relation_locked(self, name: str,
                               relation: Relation) -> None:
+        """Reload ``name`` atomically: all chunks commit, or none.
+
+        The DDL, the delete, and every insert chunk run in one
+        explicit transaction.  A mid-chunk failure rolls the relation
+        back to its pre-load rows (or to nonexistence, on the
+        CREATE path — both embedded engines have transactional DDL),
+        and ``_created``/``_loaded`` are only updated after the
+        commit, so staleness tracking can never believe a half-loaded
+        table is synced.
+        """
         table = table_name(name)
-        if name in self._created:
-            self._execute_locked(f"DELETE FROM {table}")
-        else:
-            decls = ", ".join(
-                self._column_decl(column, index)
-                for index, column in enumerate(relation.columns)
-            )
-            self._execute_locked(f"CREATE TABLE {table} ({decls})")
+        created_now = name not in self._created
+        self._execute_locked("BEGIN TRANSACTION")
+        try:
+            if created_now:
+                decls = ", ".join(
+                    self._column_decl(column, index)
+                    for index, column in enumerate(relation.columns)
+                )
+                self._execute_locked(
+                    f"CREATE TABLE {table} ({decls})"
+                )
+            else:
+                self._execute_locked(f"DELETE FROM {table}")
+            placeholders = ", ".join(["?"] * relation.arity)
+            insert = f"INSERT INTO {table} VALUES ({placeholders})"
+            rows = relation.rows
+            for start in range(0, len(rows), self._chunk_rows):
+                maybe_fault("backend.load")
+                self._executemany_locked(
+                    insert, rows[start:start + self._chunk_rows]
+                )
+        except BaseException:
+            self._rollback_locked()
+            raise
+        self._execute_locked("COMMIT")
+        if created_now:
             self._created.add(name)
-        placeholders = ", ".join(["?"] * relation.arity)
-        insert = f"INSERT INTO {table} VALUES ({placeholders})"
-        rows = relation.rows
-        for start in range(0, len(rows), self._chunk_rows):
-            self._executemany_locked(
-                insert, rows[start:start + self._chunk_rows]
-            )
+
+    def _rollback_locked(self) -> None:
+        """Best-effort ROLLBACK: the in-flight error stays primary."""
+        try:
+            self._connection.execute("ROLLBACK")
+        except self._driver_errors:
+            # The transaction is already gone (e.g. the driver aborted
+            # it); the original load error propagating past us is the
+            # failure that matters.
+            pass
 
     # ------------------------------------------------------------------
     # protocol: execute

@@ -36,7 +36,14 @@ class SQLiteBackend(_SQLBackend):
         # One in-memory store per backend instance.  The backend's own
         # lock serializes all access, so the sqlite3 same-thread guard
         # is redundant and would only break serving worker threads.
-        return sqlite3.connect(":memory:", check_same_thread=False)
+        # isolation_level=None puts the driver in true autocommit so
+        # the bulk loader's explicit BEGIN/COMMIT/ROLLBACK are the
+        # only transactions in play (the driver's implicit-BEGIN mode
+        # would otherwise hold a never-committed transaction open and
+        # make an explicit BEGIN a nested-transaction error).
+        return sqlite3.connect(
+            ":memory:", check_same_thread=False, isolation_level=None
+        )
 
     def _column_decl(self, column: Column, index: int) -> str:
         # No declared type: NONE affinity keeps stored values exactly

@@ -120,6 +120,30 @@ class EngineConfig:
             test_backend_parity.py``); mask derivation always runs
             in-process.  See ``repro.backends`` and
             ``docs/BACKENDS.md``.
+        backend_failover: on backend retry exhaustion, an open circuit
+            breaker, or a backend that is unavailable (at construction
+            or at execute time), transparently re-evaluate on the
+            registered Python oracle instead of failing the request —
+            sound because mask derivation is backend-independent; the
+            move is recorded on ``AuthorizedAnswer.backend_used`` /
+            ``failover_reason`` and in the audit trail.  When False,
+            retry exhaustion fails closed as before and backend
+            unavailability raises the typed
+            :class:`~repro.errors.BackendUnavailableError`.  See
+            ``repro.resilience`` and ``docs/RESILIENCE.md``.
+        backend_retry_attempts: total tries per backend call before
+            failover (>= 1; 1 disables retry).
+        backend_retry_base_ms: backoff before the second try, doubling
+            each further try (0 = immediate retries, the deterministic
+            default).
+        backend_retry_jitter_ms: width of the deterministic (seeded,
+            hash-based) jitter added to each backoff.
+        breaker_failure_threshold: consecutive backend failures that
+            open this engine's circuit breaker (each tenant engine has
+            its own breaker, so one tenant's flaky store never opens
+            another's).
+        breaker_recovery_ms: breaker cool-down before a half-open
+            probe is allowed.
     """
 
     refine_selection: bool = True
@@ -141,6 +165,12 @@ class EngineConfig:
     degradation_ladder: bool = True
     fail_closed: bool = True
     backend: str = "python"
+    backend_failover: bool = True
+    backend_retry_attempts: int = 2
+    backend_retry_base_ms: float = 0.0
+    backend_retry_jitter_ms: float = 0.0
+    breaker_failure_threshold: int = 5
+    breaker_recovery_ms: float = 1000.0
 
     def but(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this config with ``changes`` applied."""

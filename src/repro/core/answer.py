@@ -61,6 +61,20 @@ class AuthorizedAnswer:
     #: Diagnostic behind a fail-closed denial; ``None`` when the
     #: request was processed normally.
     error: Optional[str] = None
+    #: Which execution backend actually evaluated the answer.  Under
+    #: failover this may differ from the configured backend; ``None``
+    #: on denials that never reached evaluation.
+    backend_used: Optional[str] = None
+    #: Why evaluation moved off the configured backend (retry
+    #: exhaustion, open circuit breaker, backend unavailable); ``None``
+    #: when the configured backend answered.  The answer itself is
+    #: identical either way — mask derivation is backend-independent.
+    failover_reason: Optional[str] = None
+
+    @property
+    def failed_over(self) -> bool:
+        """True when evaluation ran on the failover oracle."""
+        return self.failover_reason is not None
 
     @property
     def degraded(self) -> bool:

@@ -42,6 +42,12 @@ class AuditRecord:
     degradation_level: int = 0
     #: Failure behind a fail-closed denial, when there was one.
     error: Optional[str] = None
+    #: Which execution backend evaluated the answer (None on denials
+    #: that never reached evaluation).
+    backend_used: Optional[str] = None
+    #: Why evaluation failed over to the oracle, when it did — the
+    #: trail must show operational reroutes, not just denials.
+    failover_reason: Optional[str] = None
 
     @property
     def outcome(self) -> str:
@@ -83,6 +89,8 @@ class AuditLog:
                 cache_hit=answer.cache_hit,
                 degradation_level=answer.degradation_level,
                 error=answer.error,
+                backend_used=answer.backend_used,
+                failover_reason=answer.failover_reason,
             )
             self._records.append(entry)
             if self.capacity is not None \
@@ -125,6 +133,13 @@ class AuditLog:
             1 for r in self.records(user) if r.degradation_level > 0
         )
 
+    def failover_count(self, user: Optional[str] = None) -> int:
+        """How many recorded answers were evaluated on the failover
+        oracle rather than the configured backend."""
+        return sum(
+            1 for r in self.records(user) if r.failover_reason is not None
+        )
+
     def delivered_fraction(self, user: Optional[str] = None) -> float:
         """Overall delivered-cells ratio across the trail."""
         total = delivered = 0
@@ -153,6 +168,8 @@ class AuditLog:
                 if entry.degradation_level > 0 else ""
             )
             failed = " [fail-closed]" if entry.error is not None else ""
+            if entry.failover_reason is not None:
+                failed += f" [failover:{entry.backend_used}]"
             lines.append(
                 f"#{entry.sequence} {entry.user}: {entry.outcome} "
                 f"({stats.delivered_cells}/{stats.total_cells} cells) "

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.algebra.database import Database
 from repro.algebra.expression import PSJQuery
 from repro.algebra.relation import Relation
-from repro.backends import make_backend
+from repro.backends import BACKEND_NAMES, make_backend
 from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.to_algebra import compile_query
 from repro.config import DEFAULT_CONFIG, EngineConfig
@@ -55,7 +55,11 @@ from repro.core.cache import (
 from repro.core.compiled_mask import CompiledMask, compile_mask
 from repro.core.mask import Mask
 from repro.core.statements import InferredPermit, infer_permits
-from repro.errors import ParseError, ReproError
+from repro.errors import (
+    BackendUnavailableError,
+    ParseError,
+    ReproError,
+)
 from repro.extensions.closure import make_excuse
 from repro.lang.parser import parse_statement
 from repro.meta.catalog import PermissionCatalog
@@ -69,6 +73,12 @@ from repro.metaalgebra.ladder import (
 )
 from repro.metaalgebra.plan import MaskDerivation
 from repro.metaalgebra.selfjoin import selfjoin_closure
+from repro.resilience.breaker import BreakerPolicy
+from repro.resilience.failover import (
+    ExecutionOutcome,
+    ResilientExecutor,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.testing.faults import maybe_fault
 
 
@@ -87,11 +97,47 @@ class AuthorizationEngine:
         self.catalog = catalog or PermissionCatalog(database.schema)
         self.config = config
         #: Where plans run (see repro.backends).  Built once per
-        #: engine from ``config.backend``; an unknown or unavailable
-        #: backend name fails construction, not a later authorize —
-        #: misconfiguration should never masquerade as a denial.
-        self.backend: "ExecutionBackend" = make_backend(
-            config.backend, database
+        #: engine from ``config.backend``.  An *unknown* backend name
+        #: always fails construction — misconfiguration should never
+        #: masquerade as a denial.  A *known-but-unavailable* backend
+        #: (e.g. duckdb without its driver) also fails construction
+        #: unless ``config.backend_failover`` is on, in which case the
+        #: engine runs permanently on the Python oracle and every
+        #: answer records the standing failover reason.
+        standing_reason: Optional[str] = None
+        try:
+            self.backend: "ExecutionBackend" = make_backend(
+                config.backend, database
+            )
+        except BackendUnavailableError as error:
+            if not config.backend_failover \
+                    or config.backend not in BACKEND_NAMES:
+                raise
+            self.backend = make_backend("python", database)
+            standing_reason = f"unavailable at construction: {error}"
+        oracle: "ExecutionBackend" = (
+            self.backend if self.backend.name == "python"
+            else make_backend("python", database)
+        )
+        #: Retry/breaker/failover wrapper around ``backend`` — the
+        #: engine's single evaluation entry point (see
+        #: ``repro.resilience``).  One executor (and breaker) per
+        #: engine, and one engine per tenant in the serving layer, so
+        #: breaker state is per (tenant, backend).
+        self.executor = ResilientExecutor(
+            primary=self.backend,
+            oracle=oracle,
+            retry=RetryPolicy(
+                attempts=config.backend_retry_attempts,
+                base_delay_ms=config.backend_retry_base_ms,
+                jitter_ms=config.backend_retry_jitter_ms,
+            ),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=config.breaker_failure_threshold,
+                recovery_ms=config.breaker_recovery_ms,
+            ),
+            failover=config.backend_failover,
+            standing_reason=standing_reason,
         )
         #: Optional audit trail; every authorize() appends a record.
         self.audit = audit
@@ -164,6 +210,11 @@ class AuthorizationEngine:
         plan = self._compile(query)
         try:
             authorized = self._authorize_plan(user, query, plan)
+        except BackendUnavailableError:
+            # Only reachable with backend_failover off: a vanished
+            # backend is the operator's misconfiguration, not a
+            # denial, so the typed error escapes the boundary.
+            raise
         except Exception as error:  # the fail-closed boundary
             if not self.config.fail_closed:
                 raise
@@ -175,24 +226,26 @@ class AuthorizationEngine:
     def _authorize_plan(self, user: str, query: Query,
                         plan: PSJQuery) -> AuthorizedAnswer:
         """The unprotected authorize path (inside the boundary)."""
-        answer = self._evaluate(plan)
+        outcome = self._evaluate(plan)
         derivation, hit = self._derive_plan(user, plan)
-        return self._assemble(user, query, plan, answer, derivation, hit)
+        return self._assemble(user, query, plan, outcome, derivation,
+                              hit)
 
-    def _evaluate(self, plan: PSJQuery) -> Relation:
-        """Evaluate ``plan`` through the configured execution backend.
+    def _evaluate(self, plan: PSJQuery) -> ExecutionOutcome:
+        """Evaluate ``plan`` through the resilient executor.
 
         The single answer-evaluation site of both authorize paths
-        (full-fidelity and degraded), and therefore the place where
-        both evaluation fault-injection points fire:
-        ``engine.evaluate`` (the historical site name) and
-        ``backend.execute`` (the backend hop).  Backend failures
-        propagate to the fail-closed boundary like any other internal
-        error.
+        (full-fidelity and degraded).  The ``engine.evaluate`` fault
+        site fires here, *outside* the executor, and stays fail-closed
+        (it models a failure in the engine itself); the
+        ``backend.execute`` site fires inside the executor's retry
+        loop, so injected backend faults are retried and failed over
+        like real ones.  Only an executor whose safety net is
+        exhausted or disabled lets a failure propagate to the
+        fail-closed boundary.
         """
         maybe_fault("engine.evaluate")
-        maybe_fault("backend.execute")
-        return self.backend.execute(plan)
+        return self.executor.execute(plan)
 
     def authorize_batch(
         self, user: str, queries: Iterable[Union[Query, str]]
@@ -217,7 +270,8 @@ class AuthorizationEngine:
         plans: Dict[Query, PSJQuery] = {}
         computed: Dict[PlanKey, Tuple[
             Relation, MaskDerivation, Mask, Tuple[Tuple, ...],
-            Tuple[InferredPermit, ...], int,
+            Tuple[InferredPermit, ...], int, Optional[str],
+            Optional[str],
         ]] = {}
 
         answers: List[AuthorizedAnswer] = []
@@ -244,10 +298,12 @@ class AuthorizationEngine:
                         authorized.mask, authorized.delivered,
                         authorized.permits,
                         authorized.degradation_level,
+                        authorized.backend_used,
+                        authorized.failover_reason,
                     )
                 else:
                     answer, derivation, mask, delivered, permits, \
-                        level = memo
+                        level, backend_used, failover_reason = memo
                     authorized = AuthorizedAnswer(
                         user=user,
                         query=query,
@@ -259,7 +315,12 @@ class AuthorizationEngine:
                         derivation=derivation,
                         cache_hit=True,
                         degradation_level=level,
+                        backend_used=backend_used,
+                        failover_reason=failover_reason,
                     )
+            except BackendUnavailableError:
+                # See authorize(): typed misconfiguration escapes.
+                raise
             except Exception as error:  # the fail-closed boundary
                 if not self.config.fail_closed:
                     raise
@@ -300,6 +361,9 @@ class AuthorizationEngine:
             authorized = self._authorize_plan_degraded(
                 user, query, plan, floor, reason
             )
+        except BackendUnavailableError:
+            # See authorize(): typed misconfiguration escapes.
+            raise
         except Exception as error:  # the fail-closed boundary
             if not self.config.fail_closed:
                 raise
@@ -323,8 +387,9 @@ class AuthorizationEngine:
         if derivation.degradation_level >= EMPTY_LEVEL:
             # Nothing will be delivered: skip answer evaluation too.
             return self._denied_answer(user, query, plan, reason)
-        answer = self._evaluate(plan)
-        return self._assemble(user, query, plan, answer, derivation, hit)
+        outcome = self._evaluate(plan)
+        return self._assemble(user, query, plan, outcome, derivation,
+                              hit)
 
     def _derive_degraded(
         self, user: str, plan: PSJQuery, floor: int, reason: str,
@@ -468,9 +533,11 @@ class AuthorizationEngine:
         return key
 
     def _assemble(self, user: str, query: Query, plan: PSJQuery,
-                  answer: Relation, derivation: MaskDerivation,
+                  outcome: ExecutionOutcome,
+                  derivation: MaskDerivation,
                   hit: bool) -> AuthorizedAnswer:
         assert derivation.mask is not None
+        answer = outcome.answer
         mask = Mask.from_table(derivation.mask)
         compiled = self._compiled_for(user, plan, derivation)
         if compiled is not None:
@@ -502,6 +569,8 @@ class AuthorizationEngine:
                 if derivation.degradation_level == EMPTY_LEVEL
                 else None
             ),
+            backend_used=outcome.backend_used,
+            failover_reason=outcome.failover_reason,
         )
 
     def _compiled_for(self, user: str, plan: PSJQuery,

@@ -1,0 +1,40 @@
+"""Fault tolerance for execution backends: retry, breaker, failover.
+
+The package composes three layers, each usable alone:
+
+* :mod:`repro.resilience.retry` — a deterministic, seedable
+  :class:`~repro.resilience.retry.RetryPolicy` (pure data, no clock);
+* :mod:`repro.resilience.breaker` — a thread-safe per-(tenant,
+  backend) :class:`~repro.resilience.breaker.CircuitBreaker` with an
+  injected clock;
+* :mod:`repro.resilience.failover` — the
+  :class:`~repro.resilience.failover.ResilientExecutor` that wraps a
+  backend with both and, when they are exhausted, soundly re-evaluates
+  on the registered Python oracle.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.resilience.failover import (
+    ExecutionOutcome,
+    MaskedOutcome,
+    ResilientExecutor,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ResilientExecutor",
+    "ExecutionOutcome",
+    "MaskedOutcome",
+]

@@ -1,0 +1,143 @@
+"""A per-(tenant, backend) circuit breaker.
+
+Retries handle *transient* faults; a breaker handles *persistent* ones.
+When a backend keeps failing, retrying every request multiplies the
+damage — each request pays the full retry schedule before failing over,
+and a tenant with a dead backend degrades every worker that touches
+it.  The breaker cuts that short with the classic three-state machine:
+
+* **closed** — requests flow to the backend; consecutive failures are
+  counted, and at ``failure_threshold`` the breaker *opens*;
+* **open** — requests skip the backend entirely (the caller fails over
+  to the oracle immediately) until ``recovery_ms`` of clock time has
+  passed;
+* **half-open** — after the cool-down, exactly one probe request is
+  allowed through: success closes the breaker, failure re-opens it
+  (and restarts the cool-down).
+
+The clock is injected — the breaker never reads wall time on its own,
+so tests (and the chaos harness) drive state transitions with a fake
+clock and soundlint SL004 keeps this module free of clock and
+randomness imports.  All methods are thread-safe: one breaker is
+shared by every serving worker that drains its tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+#: State names, as reported by :attr:`CircuitBreaker.state`.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open, and how long to stay open.
+
+    Attributes:
+        failure_threshold: consecutive failures that open the breaker.
+        recovery_ms: cool-down before a half-open probe is allowed.
+    """
+
+    failure_threshold: int = 5
+    recovery_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"need a positive threshold: {self.failure_threshold}"
+            )
+        if self.recovery_ms < 0:
+            raise ValueError(
+                f"recovery cannot be negative: {self.recovery_ms}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open failure isolation."""
+
+    def __init__(self, policy: BreakerPolicy,
+                 clock: Callable[[], float]) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Lifetime transition counters (telemetry).
+        self._opened = 0
+        self._reclosed = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` right now.
+
+        Reading the state *does not* advance it: an open breaker whose
+        cool-down has passed still reports open until a request calls
+        :meth:`allow` and claims the probe.
+        """
+        with self._lock:
+            return self._state
+
+    @property
+    def opened_count(self) -> int:
+        """How many times this breaker has opened (telemetry)."""
+        with self._lock:
+            return self._opened
+
+    def allow(self) -> bool:
+        """May the next request touch the backend?
+
+        Returns True in the closed state, False while open, and — once
+        the cool-down has elapsed — True for exactly one caller, which
+        thereby claims the half-open probe (everyone else keeps
+        failing over until the probe resolves).
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+                if elapsed_ms < self.policy.recovery_ms:
+                    return False
+                self._state = HALF_OPEN
+                self._probing = True
+                return True
+            # Half-open: the probe is in flight; hands off.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """A backend call succeeded: reset, closing if half-open."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._reclosed += 1
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A backend call failed: count, open at the threshold, and
+        re-open (with a fresh cool-down) on a failed probe."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip_locked()
+                return
+            self._failures += 1
+            if self._state == CLOSED \
+                    and self._failures >= self.policy.failure_threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._probing = False
+        self._opened_at = self._clock()
+        self._opened += 1

@@ -1,0 +1,258 @@
+"""Sound oracle failover: backend failures never surface to callers.
+
+The paper's masking semantics make the pure-Python evaluator a *sound
+substitute* for any execution backend: the mask derivation is
+backend-independent, so where the answer half runs is an operational
+choice, not a semantic one (the parity discipline of soundlint SL008
+is exactly the proof obligation).  That licence is what this module
+cashes in: when a backend call fails past its retry budget — or its
+circuit breaker is open — the :class:`ResilientExecutor` transparently
+re-evaluates the plan on the registered oracle
+(:class:`~repro.backends.python.PythonBackend`) instead of failing the
+request closed.  The *authorization decision is unchanged*; only the
+engine that computed the answer moved, and the move is recorded on
+:class:`~repro.core.answer.AuthorizedAnswer.backend_used` /
+``failover_reason`` and in the audit trail.
+
+Fault sites wired here (see :mod:`repro.testing.faults`):
+
+* ``backend.execute`` — every try at the primary backend;
+* ``retry.sleep`` — before each backoff sleep;
+* ``breaker.probe`` — a half-open probe attempt;
+* ``failover.execute`` — the oracle re-evaluation itself (a fault
+  here exhausts the safety net and the engine fails closed).
+
+Soundlint SL009 pins this executor to its oracle and to the
+differential suite ``tests/test_failover.py``, the same discipline
+SL005/SL008 apply to the other fast paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
+
+from repro.errors import BackendError, BackendUnavailableError, \
+    FaultInjected
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker, \
+    HALF_OPEN
+from repro.resilience.retry import RetryPolicy
+from repro.testing.faults import maybe_fault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Deferred: repro.backends.base imports repro.core, whose engine
+    # imports this package; runtime code only needs the protocol's
+    # duck type, never the classes themselves.
+    from repro.algebra.expression import PSJQuery
+    from repro.algebra.relation import Relation
+    from repro.backends.base import DeliveredRows, ExecutionBackend
+    from repro.core.compiled_mask import CompiledMask
+    from repro.core.mask import Mask
+
+#: Exception types a retry can plausibly outwait.  Anything else —
+#: validation errors, programming bugs — propagates immediately to the
+#: engine's fail-closed boundary; retrying would only replay it.
+_RETRYABLE = (BackendError, FaultInjected)
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """One evaluated plan, plus where and how it actually ran."""
+
+    answer: Relation
+    #: Factory name of the backend that produced the answer.
+    backend_used: str
+    #: Why evaluation moved off the primary backend (None = it didn't).
+    failover_reason: Optional[str]
+    #: Tries at the primary backend (0 when skipped outright).
+    attempts: int
+
+
+@dataclass(frozen=True)
+class MaskedOutcome:
+    """The ``execute_masked`` analogue of :class:`ExecutionOutcome`."""
+
+    delivered: DeliveredRows
+    backend_used: str
+    failover_reason: Optional[str]
+    attempts: int
+
+
+class ResilientExecutor:
+    """Retry, breaker, and oracle failover around one backend.
+
+    One executor guards one engine's backend, and each tenant owns its
+    engine — so the breaker is per ``(tenant, backend)`` and one
+    tenant's flaky store never opens anyone else's breaker.
+
+    When ``failover`` is False the safety net is off: retry exhaustion
+    re-raises the last backend error, and an unavailable backend
+    raises its typed :class:`~repro.errors.BackendUnavailableError` —
+    the engine lets that type escape the fail-closed boundary, because
+    a misconfigured data plane is an operator's bug, not a denial.
+    """
+
+    def __init__(
+        self,
+        primary: ExecutionBackend,
+        oracle: ExecutionBackend,
+        retry: RetryPolicy = RetryPolicy(),
+        breaker_policy: BreakerPolicy = BreakerPolicy(),
+        failover: bool = True,
+        standing_reason: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.primary = primary
+        self.oracle = oracle
+        self.retry = retry
+        self.failover = failover
+        #: Set when the *configured* backend could not even be
+        #: constructed (see ``AuthorizationEngine``): the executor
+        #: then runs permanently on the oracle and every outcome
+        #: carries this reason.
+        self.standing_reason = standing_reason
+        self.breaker = CircuitBreaker(breaker_policy, clock)
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # the two protocol calls, wrapped
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PSJQuery) -> ExecutionOutcome:
+        """Evaluate ``plan``, failing over to the oracle if needed."""
+        answer, used, reason, attempts = self._run(
+            lambda backend: backend.execute(plan)
+        )
+        return ExecutionOutcome(answer, used, reason, attempts)
+
+    def execute_masked(
+        self,
+        plan: PSJQuery,
+        mask: Mask,
+        compiled: Optional[CompiledMask] = None,
+        drop_fully_masked: bool = False,
+    ) -> MaskedOutcome:
+        """Evaluate-and-mask ``plan``, failing over if needed."""
+        delivered, used, reason, attempts = self._run(
+            lambda backend: backend.execute_masked(
+                plan, mask, compiled=compiled,
+                drop_fully_masked=drop_fully_masked,
+            )
+        )
+        return MaskedOutcome(delivered, used, reason, attempts)
+
+    # ------------------------------------------------------------------
+    # the retry / breaker / failover loop
+    # ------------------------------------------------------------------
+
+    def _run(self, call: Callable[[ExecutionBackend], object]
+             ) -> Tuple[object, str, Optional[str], int]:
+        if self.standing_reason is not None:
+            # The configured backend never existed; the oracle *is*
+            # the primary here, with the construction failure on
+            # record.  No breaker bookkeeping: there is nothing to
+            # probe back to health.
+            return (
+                self._oracle_call(call), self.oracle.name,
+                self.standing_reason, 0,
+            )
+        if self.primary is self.oracle:
+            # The engine already runs on the oracle: retry still
+            # applies (a fault may be transient), but failover would
+            # re-run the identical code — skip the theatre and let
+            # exhaustion propagate to the fail-closed boundary.
+            return self._run_primary_only(call)
+        if not self.breaker.allow():
+            return self._failover(call, "circuit breaker open")
+        last: Optional[Exception] = None
+        attempts = 0
+        for attempt in range(1, self.retry.attempts + 1):
+            if attempt > 1 and not self.breaker.allow():
+                return self._failover(
+                    call, "circuit breaker opened mid-retry",
+                    attempts=attempts,
+                )
+            probing = self.breaker.state == HALF_OPEN
+            attempts = attempt
+            try:
+                if probing:
+                    maybe_fault("breaker.probe")
+                maybe_fault("backend.execute")
+                result = call(self.primary)
+            except BackendUnavailableError as error:
+                # The driver vanished between construction and now;
+                # retrying cannot re-install it.
+                self.breaker.record_failure()
+                if not self.failover:
+                    raise
+                return self._failover(call, str(error),
+                                      attempts=attempts)
+            except _RETRYABLE as error:
+                self.breaker.record_failure()
+                last = error
+                if attempt < self.retry.attempts:
+                    self._backoff(attempt)
+                continue
+            self.breaker.record_success()
+            return result, self.primary.name, None, attempts
+        reason = (
+            f"retry exhausted after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        )
+        if not self.failover:
+            assert last is not None
+            raise last
+        return self._failover(call, reason, attempts=attempts)
+
+    def _run_primary_only(
+        self, call: Callable[[ExecutionBackend], object]
+    ) -> Tuple[object, str, Optional[str], int]:
+        """The degenerate loop when the primary *is* the oracle."""
+        last: Optional[Exception] = None
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                maybe_fault("backend.execute")
+                result = call(self.primary)
+            except _RETRYABLE as error:
+                last = error
+                if attempt < self.retry.attempts:
+                    self._backoff(attempt)
+                continue
+            return result, self.primary.name, None, attempt
+        assert last is not None
+        raise last
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep out the (deterministic) backoff for ``attempt``.
+
+        A fault injected at ``retry.sleep`` propagates as a retryable
+        failure of the *next* attempt would — it is part of the retry
+        machinery, so the chaos harness can break the machinery
+        itself, not just the backend under it.
+        """
+        maybe_fault("retry.sleep")
+        delay_ms = self.retry.delay_ms(attempt)
+        if delay_ms > 0:
+            self._sleep(delay_ms / 1000.0)
+
+    def _failover(
+        self,
+        call: Callable[[ExecutionBackend], object],
+        reason: str,
+        attempts: int = 0,
+    ) -> Tuple[object, str, Optional[str], int]:
+        """Re-run ``call`` on the oracle; sound by mask independence."""
+        return (
+            self._oracle_call(call), self.oracle.name, reason, attempts,
+        )
+
+    def _oracle_call(
+        self, call: Callable[[ExecutionBackend], object]
+    ) -> object:
+        # A failure here (including an injected ``failover.execute``
+        # fault) has exhausted the safety net: it propagates to the
+        # engine's fail-closed boundary and the request is denied.
+        maybe_fault("failover.execute")
+        return call(self.oracle)

@@ -1,0 +1,81 @@
+"""Deterministic retry policy for transient backend failures.
+
+A transient backend error (a driver hiccup, a momentarily locked
+store) is usually gone by the next attempt, so the cheapest form of
+fault tolerance is simply trying again — *bounded* times, with
+*deterministic* backoff.  :class:`RetryPolicy` is pure data plus pure
+functions: the delay for attempt ``k`` is an exponential of ``k`` with
+a jitter term computed by integer hashing of ``(seed, attempt)``, so
+two processes configured identically retry identically.  There is no
+clock and no ``random`` in this module at all — wall time enters only
+where a caller chooses to actually sleep, and soundlint SL004 patrols
+this module to keep it that way.
+
+The retry loop itself lives in :mod:`repro.resilience.failover`, next
+to the circuit breaker and the oracle failover it composes with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Knuth's multiplicative-hash constant; the jitter "PRNG" is one
+#: multiply-and-mask of the (seed, attempt) pair — deterministic,
+#: seedable, and free of any ``random`` import.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    Attributes:
+        attempts: total tries at the primary backend (>= 1; 1 means
+            no retry at all).
+        base_delay_ms: backoff before the second try; doubles each
+            further try.  0 disables sleeping entirely (the retries
+            are then immediate), which is the deterministic default —
+            tests and the chaos harness never wait on wall time.
+        max_delay_ms: ceiling on any single backoff.
+        jitter_ms: width of the deterministic jitter added to each
+            backoff (0 disables jitter).
+        seed: jitter seed; identical seeds replay identical delays.
+    """
+
+    attempts: int = 2
+    base_delay_ms: float = 0.0
+    max_delay_ms: float = 1000.0
+    jitter_ms: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"need at least one attempt: {self.attempts}")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0 \
+                or self.jitter_ms < 0:
+            raise ValueError("retry delays cannot be negative")
+
+    def jitter_fraction(self, attempt: int) -> float:
+        """A deterministic pseudo-uniform value in [0, 1) for
+        ``attempt`` — one multiplicative hash of ``(seed, attempt)``."""
+        mixed = (self.seed * _HASH_MULTIPLIER + attempt * 40503) \
+            & _HASH_MASK
+        mixed = (mixed * _HASH_MULTIPLIER) & _HASH_MASK
+        return mixed / float(_HASH_MASK + 1)
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff after try number ``attempt`` (1-based) failed."""
+        if attempt < 1:
+            raise ValueError(f"attempts are 1-based: {attempt}")
+        if self.base_delay_ms <= 0:
+            return 0.0
+        delay = self.base_delay_ms * (2 ** (attempt - 1))
+        delay += self.jitter_ms * self.jitter_fraction(attempt)
+        return min(delay, self.max_delay_ms)
+
+    def delays_ms(self) -> Iterator[float]:
+        """The full backoff schedule (one delay per retry)."""
+        for attempt in range(1, self.attempts):
+            yield self.delay_ms(attempt)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.metaalgebra.ladder import EMPTY_LEVEL
 
@@ -35,9 +35,17 @@ class AdmissionPolicy:
     requests are refused (answered with the EMPTY rung, synchronously,
     without consuming a queue slot).  Thresholds must be positive and
     strictly increasing.
+
+    ``breaker_floor`` is the *per-tenant* floor imposed while a
+    tenant's circuit breaker is open: that tenant is running on oracle
+    failover, so its batches derive masks at a cheaper rung to shed
+    the extra in-process load — without raising the floor of any
+    healthy tenant (breaker state is per tenant, and so is this
+    floor).
     """
 
     shed_thresholds: Tuple[int, ...] = (64, 128, 192, 256)
+    breaker_floor: int = 1
 
     def __post_init__(self) -> None:
         if not self.shed_thresholds:
@@ -51,6 +59,11 @@ class AdmissionPolicy:
             raise ValueError(
                 "thresholds must be strictly increasing: "
                 f"{self.shed_thresholds}"
+            )
+        if not 0 <= self.breaker_floor <= EMPTY_LEVEL:
+            raise ValueError(
+                f"breaker floor must be a ladder rung: "
+                f"{self.breaker_floor}"
             )
 
     @property
@@ -82,10 +95,16 @@ class AdmissionSnapshot:
     soft_sheds: Tuple[int, ...] = field(
         default_factory=lambda: (0,) * EMPTY_LEVEL
     )
+    #: Requests degraded because their per-request deadline passed
+    #: before a worker drained them.
+    deadline_sheds: int = 0
+    #: Tenants currently under a non-zero breaker-imposed floor.
+    tenant_floors: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def shed_total(self) -> int:
-        return self.hard_sheds + sum(self.soft_sheds)
+        return self.hard_sheds + sum(self.soft_sheds) \
+            + self.deadline_sheds
 
 
 class AdmissionController:
@@ -108,6 +127,9 @@ class AdmissionController:
         self._completed = 0
         self._hard_sheds = 0
         self._soft_sheds = [0] * EMPTY_LEVEL
+        self._deadline_sheds = 0
+        #: Tenant name -> breaker-imposed floor (only non-zero kept).
+        self._tenant_floors: Dict[str, int] = {}
 
     def admit(self) -> bool:
         """Reserve a slot; ``False`` means hard-shed (queue full)."""
@@ -153,6 +175,34 @@ class AdmissionController:
         with self._lock:
             self._soft_sheds[index] += count
 
+    def note_deadline_shed(self, count: int = 1) -> None:
+        """Record ``count`` requests degraded for missing their
+        deadline."""
+        with self._lock:
+            self._deadline_sheds += count
+
+    def set_tenant_floor(self, tenant: str, floor: int) -> None:
+        """Impose (or, at 0, lift) a per-tenant degradation floor.
+
+        The server calls this with the breaker-derived floor each time
+        it drains one of the tenant's batches, so the floor tracks
+        breaker state automatically and clears as soon as the breaker
+        closes.  Only the named tenant is affected — the cluster-wide
+        backlog floor is separate and composes by ``max``.
+        """
+        if not 0 <= floor <= EMPTY_LEVEL:
+            raise ValueError(f"floor must be a ladder rung: {floor}")
+        with self._lock:
+            if floor == 0:
+                self._tenant_floors.pop(tenant, None)
+            else:
+                self._tenant_floors[tenant] = floor
+
+    def tenant_floor(self, tenant: str) -> int:
+        """The breaker-imposed floor for ``tenant`` (0 = none)."""
+        with self._lock:
+            return self._tenant_floors.get(tenant, 0)
+
     def snapshot(self) -> AdmissionSnapshot:
         with self._lock:
             return AdmissionSnapshot(
@@ -162,4 +212,8 @@ class AdmissionController:
                 completed=self._completed,
                 hard_sheds=self._hard_sheds,
                 soft_sheds=tuple(self._soft_sheds),
+                deadline_sheds=self._deadline_sheds,
+                tenant_floors=tuple(
+                    sorted(self._tenant_floors.items())
+                ),
             )

@@ -51,6 +51,7 @@ from repro.serving.admission import (
     AdmissionPolicy,
     AdmissionSnapshot,
 )
+from repro.resilience.breaker import OPEN
 from repro.serving.shards import ShardedDerivationCache
 from repro.serving.tenants import Tenant, TenantRegistry
 from repro.testing.faults import maybe_fault
@@ -83,6 +84,16 @@ class ServerConfig:
     audit_capacity: Optional[int] = 4096
     #: Engine configuration for tenants the server constructs.
     engine: EngineConfig = DEFAULT_CONFIG
+    #: Per-request budget, measured from admission (milliseconds;
+    #: 0 disables deadlines).  A request still queued when its budget
+    #: runs out is *not* left to stall the drainer at full cost: it is
+    #: answered at ``deadline_floor`` instead.
+    request_deadline_ms: float = 0.0
+    #: Ladder rung for deadline-expired requests.  The default EMPTY
+    #: rung answers them immediately without evaluating (the caller
+    #: has likely stopped waiting); a lower rung trades some drainer
+    #: time for a partial answer.
+    deadline_floor: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -93,6 +104,15 @@ class ServerConfig:
             raise ValueError(
                 f"linger cannot be negative: {self.batch_linger_ms}"
             )
+        if self.request_deadline_ms < 0:
+            raise ValueError(
+                f"deadline cannot be negative: {self.request_deadline_ms}"
+            )
+        if not 1 <= self.deadline_floor <= 4:
+            raise ValueError(
+                f"deadline floor must be a non-zero ladder rung: "
+                f"{self.deadline_floor}"
+            )
 
 
 @dataclass
@@ -101,6 +121,9 @@ class _Pending:
 
     query: Union[Query, str]
     future: "Future[AuthorizedAnswer]" = field(default_factory=Future)
+    #: Monotonic timestamp past which this request is deadline-expired
+    #: (None = no deadline configured).
+    deadline: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -229,7 +252,13 @@ class AuthorizationServer:
         """
         maybe_fault("serving.submit")
         owner = self.tenants.get(tenant)
-        pending = _Pending(query=owner.engine.prepare(query))
+        deadline: Optional[float] = None
+        if self.config.request_deadline_ms > 0:
+            deadline = time.monotonic() \
+                + self.config.request_deadline_ms / 1e3
+        pending = _Pending(
+            query=owner.engine.prepare(query), deadline=deadline,
+        )
         key: _BatchKey = (tenant, user)
         with self._work:
             if self._closing:
@@ -370,15 +399,52 @@ class AuthorizationServer:
         try:
             try:
                 maybe_fault("serving.batch")
-                floor = self._admission.floor(exclude=len(batch))
-                queries = [pending.query for pending in batch]
+                # An open breaker means this tenant's batches are
+                # failing over to the in-process oracle; raise *its*
+                # floor (and only its) so the extra in-process load
+                # sheds derivation cost, not cluster-wide fidelity.
+                self._admission.set_tenant_floor(
+                    tenant_name,
+                    self.config.admission.breaker_floor
+                    if engine.executor.breaker.state == OPEN else 0,
+                )
+                floor = max(
+                    self._admission.floor(exclude=len(batch)),
+                    self._admission.tenant_floor(tenant_name),
+                )
+                # Deadline-expired requests degrade instead of
+                # stalling the drainer at full cost: the caller's
+                # budget is gone, so the ladder answers them at
+                # ``deadline_floor`` (EMPTY by default — no
+                # evaluation at all) while fresh neighbours still
+                # get the full batch path.
+                fresh: List[_Pending] = []
+                expired: List[_Pending] = []
+                now = time.monotonic()
+                for pending in batch:
+                    if pending.deadline is not None \
+                            and now >= pending.deadline:
+                        expired.append(pending)
+                    else:
+                        fresh.append(pending)
+                if expired:
+                    self._admission.note_deadline_shed(len(expired))
+                    rung = max(floor, self.config.deadline_floor)
+                    for pending in expired:
+                        pending.future.set_result(
+                            engine.authorize_degraded(
+                                user, pending.query, rung,
+                                reason="request deadline exceeded",
+                            )
+                        )
+                queries = [pending.query for pending in fresh]
                 if floor == 0:
                     answers = engine.authorize_batch(user, queries)
                 else:
                     # Overloaded: derive at a cheaper rung.  Degraded
                     # masks are subsets of the full-fidelity mask, so
                     # shedding narrows delivery, never widens it.
-                    self._admission.note_shed(floor, len(batch))
+                    self._admission.note_shed(floor, len(fresh))
                     answers = tuple(
                         engine.authorize_degraded(
                             user, query, floor,
@@ -386,7 +452,7 @@ class AuthorizationServer:
                         )
                         for query in queries
                     )
-                for pending, answer in zip(batch, answers):
+                for pending, answer in zip(fresh, answers):
                     pending.future.set_result(answer)
             except ReproError as error:
                 reason = f"{type(error).__name__}: {error}"

@@ -7,6 +7,7 @@ installed.
 """
 
 from repro.testing.faults import (
+    SITES,
     Fault,
     FaultPlan,
     inject,
@@ -18,6 +19,7 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "SITES",
     "Fault",
     "FaultPlan",
     "inject",

@@ -15,25 +15,12 @@ persistence layer) and lets tests trip them deterministically:
 Injection points are inert unless a plan is installed, so the
 production hot path pays one module-level ``None`` check per site.
 
-Sites currently wired (a plan may name any subset):
-
-    ``plan``          entry of ``derive_mask``
-    ``selfjoin``      the self-join closure
-    ``product``       the (padded) meta-product
-    ``prune``         dangling-reference pruning
-    ``selection``     each meta-selection step
-    ``projection``    the final meta-projection
-    ``closure``       the existential-closure excuse builder
-    ``cache.get``     derivation-cache lookup
-    ``cache.put``     derivation-cache store
-    ``cache.entry``   the cached value itself (``corrupt`` action)
-    ``engine.evaluate``  answer evaluation inside ``authorize``
-    ``backend.execute``  the execution-backend hop of that same site
-    ``storage.read``  snapshot reading
-    ``storage.write`` snapshot writing
-    ``storage.fsync`` between temp-file write and atomic rename
-    ``serving.submit``  request admission in the batch server
-    ``serving.batch``   batch processing in a server worker
+Every wired site is registered in :data:`SITES` — the single source of
+truth that plan validation, the chaos harness
+(:mod:`repro.testing.chaos`), and the coverage sweep test
+(``tests/test_fault_sites.py``) all read, so adding a site silently is
+impossible (the PR 7 lesson).  See the table in
+``docs/RESILIENCE.md`` for what each site means.
 
 Actions:
 
@@ -44,6 +31,11 @@ Actions:
 * ``corrupt`` — substitute ``payload`` for the value flowing through a
   ``maybe_corrupt`` site (cache corruption).
 
+A fault with ``probability < 1`` fires on a seeded coin flip per
+visit instead of every visit — the chaos harness uses this to spray
+sparse faults over long request streams while staying replayable: the
+flip sequence depends only on ``seed`` and the visit order.
+
 Plans are installed with the :func:`inject` context manager, or
 process-wide with :func:`install` / :func:`uninstall` (the CLI's
 ``--faults`` switch uses the ``site:action[:arg]`` spec syntax via
@@ -52,6 +44,7 @@ process-wide with :func:`install` / :func:`uninstall` (the CLI's
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -62,6 +55,7 @@ from typing import (
     Iterator,
     Mapping,
     Optional,
+    Tuple,
     Union,
 )
 
@@ -73,6 +67,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sentinel substituted by the default ``corrupt`` action.
 CORRUPTED = "#corrupted#"
 
+#: Every injection point wired into the codebase, in authorize-path
+#: order.  ``FaultPlan`` rejects plans naming anything else, and the
+#: sweep test asserts each of these is exercised by at least one test.
+SITES: Tuple[str, ...] = (
+    # mask derivation (repro.metaalgebra)
+    "plan",
+    "selfjoin",
+    "product",
+    "prune",
+    "selection",
+    "projection",
+    "closure",
+    # derivation cache (repro.core.cache)
+    "cache.get",
+    "cache.put",
+    "cache.entry",
+    # answer evaluation (repro.core.engine / repro.resilience)
+    "engine.evaluate",
+    "backend.execute",
+    "backend.load",
+    "retry.sleep",
+    "breaker.probe",
+    "failover.execute",
+    # persistence (repro.storage)
+    "storage.read",
+    "storage.write",
+    "storage.fsync",
+    # serving layer (repro.serving)
+    "serving.submit",
+    "serving.batch",
+)
+
 
 @dataclass
 class Fault:
@@ -83,16 +109,42 @@ class Fault:
         times: fire at most this many visits (None = every visit).
         seconds: simulated wall time charged by ``slow``.
         payload: value substituted by ``corrupt``.
+        probability: chance of firing per eligible visit.  1.0 (the
+            default) fires deterministically on every visit; anything
+            lower flips a coin from a private ``random.Random(seed)``
+            stream, so the fire pattern is a pure function of the seed
+            and the visit order — the chaos harness replays runs by
+            replaying both.
+        seed: seeds the coin-flip stream (ignored at probability 1.0).
     """
 
     action: str = "raise"
     times: Optional[int] = None
     seconds: float = 1.0
     payload: Any = CORRUPTED
+    probability: float = 1.0
+    seed: int = 0
     fired: int = field(default=0, compare=False)
+    _rng: Optional[random.Random] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1]: {self.probability}"
+            )
 
     def exhausted(self) -> bool:
         return self.times is not None and self.fired >= self.times
+
+    def should_fire(self) -> bool:
+        """Flip the (seeded) coin for this visit."""
+        if self.probability >= 1.0:
+            return True
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        return self._rng.random() < self.probability
 
 
 class FaultPlan:
@@ -105,6 +157,12 @@ class FaultPlan:
     """
 
     def __init__(self, faults: Mapping[str, Union[Fault, str]]) -> None:
+        unknown = sorted(set(faults) - set(SITES))
+        if unknown:
+            raise ReproError(
+                f"unknown fault site(s) {unknown}; "
+                f"registered sites are listed in repro.testing.faults.SITES"
+            )
         self.faults: Dict[str, Fault] = {
             site: fault if isinstance(fault, Fault) else Fault(fault)
             for site, fault in faults.items()
@@ -121,11 +179,13 @@ class FaultPlan:
         if fault is None or fault.exhausted():
             return
         if fault.action == "raise":
+            if not fault.should_fire():
+                return
             fault.fired += 1
             self.trips[site] += 1
             raise FaultInjected(site)
         if fault.action == "slow":
-            if budget is not None:
+            if budget is not None and fault.should_fire():
                 fault.fired += 1
                 self.trips[site] += 1
                 budget.elapse(fault.seconds)
@@ -136,6 +196,8 @@ class FaultPlan:
         self.visits[site] += 1
         fault = self.faults.get(site)
         if fault is None or fault.action != "corrupt" or fault.exhausted():
+            return value
+        if not fault.should_fire():
             return value
         fault.fired += 1
         self.trips[site] += 1

@@ -28,6 +28,7 @@ from repro.algebra.to_sql import (
     masked_plan_to_sql,
     plan_to_sql,
     sql_literal,
+    table_name,
 )
 from repro.algebra.types import INTEGER, STRING
 from repro.backends import (
@@ -41,7 +42,11 @@ from repro.config import DEFAULT_CONFIG
 from repro.core.compiled_mask import compile_mask, sql_predicate_view
 from repro.core.engine import AuthorizationEngine
 from repro.core.mask import MASKED, Mask
-from repro.errors import BackendError, BackendUnavailableError
+from repro.errors import (
+    BackendError,
+    BackendUnavailableError,
+    FaultInjected,
+)
 from repro.meta.cell import MetaCell
 from repro.meta.metatuple import MetaTuple
 from repro.metaalgebra.table import MaskRow
@@ -306,6 +311,56 @@ class TestMutationSync:
         assert sqlite._loaded["DEPT"] == before["DEPT"] + 1
 
 
+class TestBulkLoadAtomicity:
+    def test_mid_load_fault_rolls_back_to_previous_rows(self):
+        database = small_database()
+        backend = SQLiteBackend(database)
+        old = sorted(backend.execute(emp_scan()).rows)
+        database.load("EMP", [("zed", "glue", 9)])
+        with faults.inject({"backend.load": faults.Fault("raise",
+                                                         times=1)}):
+            with pytest.raises(FaultInjected):
+                backend.execute(emp_scan())
+            # The DELETE rolled back with the transaction: the store
+            # still holds every pre-mutation row, not an empty or
+            # half-loaded table.
+            with backend._lock:
+                raw = backend._fetch_locked(
+                    f"SELECT * FROM {table_name('EMP')}"
+                )
+            assert sorted(tuple(r) for r in raw) == old
+        # The staleness counter was not advanced, so the next execute
+        # re-syncs and observes the mutation.
+        after = backend.execute(emp_scan())
+        assert sorted(after.rows) == [("zed", "glue", 9)]
+
+    def test_mid_create_fault_rolls_back_ddl(self):
+        database = small_database()
+        backend = SQLiteBackend()
+        backend._chunk_rows = 2  # EMP's 4 rows span two chunks
+        with faults.inject({"backend.load": faults.Fault("raise",
+                                                         times=1)}):
+            with pytest.raises(FaultInjected):
+                backend.load(database)
+        assert not backend._created  # CREATE TABLE rolled back too
+        # A clean reload succeeds from scratch: were the DDL left
+        # behind, the retried CREATE TABLE would fail.
+        backend.load(database)
+        assert backend.execute(emp_scan()) \
+            == PythonBackend(database).execute(emp_scan())
+
+    def test_chunked_load_commits_once(self):
+        database = small_database()
+        backend = SQLiteBackend()
+        backend._chunk_rows = 1  # one executemany per row
+        with faults.inject({}) as plan:
+            backend.load(database)
+        # 4 EMP rows + 2 DEPT rows, one site visit per chunk.
+        assert plan.visits["backend.load"] == 6
+        assert backend.execute(emp_scan()) \
+            == PythonBackend(database).execute(emp_scan())
+
+
 class TestEngineIntegration:
     def test_engine_builds_configured_backend(self):
         engine = AuthorizationEngine(
@@ -321,10 +376,40 @@ class TestEngineIntegration:
                 config=DEFAULT_CONFIG.but(backend="nope"),
             )
 
-    def test_backend_fault_fails_closed(self):
+    def test_backend_fault_fails_over_to_oracle(self):
+        # PR 8 semantics: a persistent backend fault no longer denies
+        # the request — the executor retries, exhausts, and soundly
+        # re-evaluates on the Python oracle with identical delivery.
         engine = AuthorizationEngine(
             small_database(),
             config=DEFAULT_CONFIG.but(backend="sqlite"),
+        )
+        engine.define_view("view V (EMP.NAME, EMP.DEPT)")
+        engine.permit("V", "u")
+        query = "retrieve (EMP.NAME, EMP.DEPT)"
+        clean = engine.authorize("u", query)
+        assert clean.delivered
+        assert clean.backend_used == "sqlite"
+        assert clean.failover_reason is None
+        with faults.inject({"backend.execute": faults.Fault("raise")}):
+            faulted = engine.authorize("u", query)
+        assert faulted.error is None
+        assert faulted.backend_used == "python"
+        assert "retry exhausted" in faulted.failover_reason
+        assert sorted(faulted.delivered) == sorted(clean.delivered)
+        # And cleanly on the primary again afterwards.
+        after = engine.authorize("u", query)
+        assert after.backend_used == "sqlite"
+        assert after.delivered == clean.delivered
+
+    def test_backend_fault_fails_closed_without_failover(self):
+        # With the safety net off, PR 7 semantics are preserved:
+        # retry exhaustion fails the request closed.
+        engine = AuthorizationEngine(
+            small_database(),
+            config=DEFAULT_CONFIG.but(
+                backend="sqlite", backend_failover=False,
+            ),
         )
         engine.define_view("view V (EMP.NAME, EMP.DEPT)")
         engine.permit("V", "u")

@@ -1,0 +1,54 @@
+"""Registry sweep: every fault site must be exercised somewhere.
+
+The fault-injection registry (:data:`repro.testing.faults.SITES`) is
+only worth trusting if each registered site is actually driven by at
+least one test — a site nobody injects is a hook whose failure
+behaviour is unverified, which is exactly the blind spot fault
+injection exists to remove.  This sweep greps the test tree for each
+site name used as a string literal and fails naming any orphans, so
+adding a site without a test is a one-line red diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.testing.faults import SITES
+
+TESTS_DIR = Path(__file__).resolve().parent
+THIS_FILE = Path(__file__).resolve()
+
+
+def _test_sources() -> Dict[Path, str]:
+    """All test files except this sweep (mentioning a site here must
+    not count as exercising it)."""
+    sources = {}
+    for path in sorted(TESTS_DIR.rglob("test_*.py")):
+        if path.resolve() == THIS_FILE:
+            continue
+        sources[path] = path.read_text(encoding="utf-8")
+    return sources
+
+
+def test_registry_is_nonempty_and_sorted_unique() -> None:
+    assert SITES, "fault-site registry is empty"
+    assert len(set(SITES)) == len(SITES), "duplicate fault sites"
+
+
+def test_every_fault_site_is_exercised_by_some_test() -> None:
+    sources = _test_sources()
+    orphans: List[str] = []
+    for site in SITES:
+        needles = (f'"{site}"', f"'{site}'")
+        if not any(
+            needle in text
+            for text in sources.values()
+            for needle in needles
+        ):
+            orphans.append(site)
+    assert not orphans, (
+        "fault sites registered in repro.testing.faults.SITES but "
+        f"never injected by any test: {orphans} — add a test that "
+        "injects each (or remove the dead site)"
+    )

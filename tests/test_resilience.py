@@ -449,13 +449,17 @@ class TestFaultHarness:
 
     def test_fault_times_limits_firing(self):
         fault = Fault("raise", times=2)
-        plan = FaultPlan({"x": fault})
+        plan = FaultPlan({"plan": fault})
         for _ in range(2):
             with pytest.raises(FaultInjected):
-                plan.visit("x")
-        plan.visit("x")  # exhausted: passes through
-        assert plan.visits["x"] == 3
-        assert plan.trips["x"] == 2
+                plan.visit("plan")
+        plan.visit("plan")  # exhausted: passes through
+        assert plan.visits["plan"] == 3
+        assert plan.trips["plan"] == 2
+
+    def test_plan_rejects_unknown_sites(self):
+        with pytest.raises(ReproError, match="unknown fault site"):
+            FaultPlan({"not.a.site": Fault("raise")})
 
     def test_plan_from_spec_round_trip(self):
         plan = plan_from_spec(

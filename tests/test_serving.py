@@ -21,6 +21,7 @@ from repro.core.engine import AuthorizationEngine
 from repro.core.mask import MASKED
 from repro.errors import FaultInjected, ServingError, UnknownTenantError
 from repro.metaalgebra.ladder import EMPTY_LEVEL
+from repro.resilience.breaker import OPEN
 from repro.serving import (
     AdmissionPolicy,
     AuthorizationServer,
@@ -343,6 +344,110 @@ class TestAdmissionControl:
             AdmissionPolicy(shed_thresholds=(4, 2))
         with pytest.raises(ValueError):
             AdmissionPolicy(shed_thresholds=(0, 1))
+        with pytest.raises(ValueError):
+            AdmissionPolicy(breaker_floor=5)
+
+
+# ----------------------------------------------------------------------
+# per-request deadlines and breaker-fed admission
+# ----------------------------------------------------------------------
+
+class TestRequestDeadlines:
+    def test_expired_requests_degrade_instead_of_stalling(self):
+        workload, queries = small_workload(seed=23)
+        user = workload.users[0]
+        # A 100ns budget expires before any worker can drain, so
+        # every request takes the deadline path deterministically.
+        server = AuthorizationServer(ServerConfig(
+            workers=1, max_batch=4, cache_capacity=0,
+            request_deadline_ms=1e-4,
+        ))
+        server.add_tenant("t", workload.database, workload.catalog)
+        futures = flood(server, "t", user, queries, 20)
+        answers = [future.result() for future in futures]
+        server.close()
+        telemetry = server.telemetry()
+        assert telemetry.admission.deadline_sheds == len(answers)
+        for answer in answers:
+            # Default deadline floor is the EMPTY rung: answered
+            # immediately, nothing delivered, fail-closed error set.
+            assert answer.degradation_level == EMPTY_LEVEL
+            assert answer.delivered == ()
+            assert "deadline" in (answer.error or "")
+
+    def test_mid_rung_deadline_floor_still_answers(self):
+        workload, queries = small_workload(seed=23)
+        user = workload.users[0]
+        oracle = AuthorizationEngine(workload.database,
+                                     workload.catalog)
+        full = {
+            str(query): visible_cells(oracle.authorize(user, query))
+            for query in queries
+        }
+        server = AuthorizationServer(ServerConfig(
+            workers=1, max_batch=4, cache_capacity=0,
+            request_deadline_ms=1e-4, deadline_floor=1,
+        ))
+        server.add_tenant("t", workload.database, workload.catalog)
+        futures = flood(server, "t", user, queries, 12)
+        answers = [future.result() for future in futures]
+        server.close()
+        assert server.telemetry().admission.deadline_sheds \
+            == len(answers)
+        for answer in answers:
+            assert answer.degradation_level >= 1
+            # Deadline shedding narrows delivery, never widens it.
+            assert visible_cells(answer) <= full[str(answer.query)]
+
+    def test_deadline_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(request_deadline_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServerConfig(deadline_floor=0)
+        with pytest.raises(ValueError):
+            ServerConfig(deadline_floor=5)
+
+
+class TestBreakerAdmission:
+    def test_open_breaker_raises_only_that_tenants_floor(self):
+        workload, queries = small_workload(seed=29)
+        user = workload.users[0]
+        server = AuthorizationServer(ServerConfig(
+            workers=1, cache_capacity=0,
+            engine=DEFAULT_CONFIG.but(
+                backend="sqlite",
+                breaker_recovery_ms=3.6e6,  # stays open for the test
+            ),
+        ))
+        server.add_tenant("a", workload.database, workload.catalog)
+        server.add_tenant("b", workload.database, workload.catalog)
+        breaker = server.tenants.get("a").engine.executor.breaker
+        for _ in range(DEFAULT_CONFIG.breaker_failure_threshold):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+        degraded = server.authorize("a", user, queries[0])
+        healthy = server.authorize("b", user, queries[0])
+        snapshot = server.telemetry().admission
+        # Tenant a runs on oracle failover under the breaker floor;
+        # tenant b is untouched — breaker state is per tenant.
+        assert degraded.degradation_level \
+            == server.config.admission.breaker_floor
+        assert degraded.error is None
+        assert degraded.backend_used == "python"
+        assert healthy.degradation_level == 0
+        assert healthy.backend_used == "sqlite"
+        assert ("a", server.config.admission.breaker_floor) \
+            in snapshot.tenant_floors
+        assert all(name != "b" for name, _ in snapshot.tenant_floors)
+
+        # The floor lifts on the first drain after the breaker closes.
+        breaker.record_success()
+        recovered = server.authorize("a", user, queries[1])
+        server.close()
+        assert recovered.degradation_level == 0
+        assert recovered.backend_used == "sqlite"
+        assert server.telemetry().admission.tenant_floors == ()
 
 
 # ----------------------------------------------------------------------

@@ -497,6 +497,100 @@ def test_sl008_exempts_oracle_and_protocol(tmp_path: Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# SL009 — failover oracle pinning
+# ----------------------------------------------------------------------
+
+FAILOVER_TREE = {
+    "src/repro/resilience/failover.py": """
+        class ResilientExecutor:
+            def __init__(self, primary, oracle):
+                self.primary = primary
+                self.oracle = oracle
+    """,
+    "src/repro/backends/python.py": """
+        class PythonBackend:
+            name = "python"
+    """,
+    "tests/test_failover.py": """
+        # parity: ResilientExecutor re-routes to PythonBackend
+    """,
+}
+
+
+def test_sl009_accepts_registered_failover_path(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, dict(FAILOVER_TREE))
+    assert lint(root, "src", select=["SL009"]).clean
+
+
+def test_sl009_flags_vanished_registered_path(tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    files["src/repro/resilience/failover.py"] = "HEDGED = False\n"
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL009"])
+    assert rules_hit(report) == ["SL009"]
+    assert "no longer exists" in report.violations[0].message
+
+
+def test_sl009_flags_vanished_oracle(tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    files["src/repro/backends/python.py"] = "NAME = 'python'\n"
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL009"])
+    assert rules_hit(report) == ["SL009"]
+    assert "soundness hole" in report.violations[0].message
+
+
+def test_sl009_flags_missing_parity_test(tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    del files["tests/test_failover.py"]
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL009"])
+    assert rules_hit(report) == ["SL009"]
+    assert "missing" in report.violations[0].message
+
+
+def test_sl009_flags_test_missing_either_name(tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    files["tests/test_failover.py"] = """
+        # mentions ResilientExecutor but never its oracle
+    """
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL009"])
+    assert rules_hit(report) == ["SL009"]
+    assert "exercise both" in report.violations[0].message
+
+
+def test_sl009_discovers_unregistered_failover_class(
+        tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    files["src/repro/resilience/hedge.py"] = """
+        class HedgedExecutor:
+            def __init__(self, primary, fallback):
+                self.fallback = fallback
+    """
+    root = make_tree(tmp_path, files)
+    report = lint(root, "src", select=["SL009"])
+    assert rules_hit(report) == ["SL009"]
+    assert "no registered oracle" in report.violations[0].message
+
+
+def test_sl009_exempts_private_and_markerless_classes(
+        tmp_path: Path) -> None:
+    files = dict(FAILOVER_TREE)
+    files["src/repro/resilience/hedge.py"] = """
+        class _Probe:
+            def __init__(self, oracle):
+                self.oracle = oracle
+
+        class RetrySchedule:
+            def __init__(self, attempts):
+                self.attempts = attempts
+    """
+    root = make_tree(tmp_path, files)
+    assert lint(root, "src", select=["SL009"]).clean
+
+
+# ----------------------------------------------------------------------
 # suppressions, selection, report plumbing
 # ----------------------------------------------------------------------
 
@@ -563,7 +657,7 @@ def test_violations_are_sorted_and_rendered(tmp_path: Path) -> None:
 def test_rule_registry_is_complete() -> None:
     assert set(all_rules()) == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008",
+        "SL008", "SL009",
     }
     for info in all_rules().values():
         assert info.title and info.rationale
