@@ -10,15 +10,30 @@ The run also times the streaming pruned meta-product against
 materialize-then-prune on a join-heavy generated workload, and writes
 every number to ``BENCH_PR4.json`` at the repository root so the
 claimed speedups are machine-checkable alongside the committed copy.
+
+PR 9 adds the columnar data plane's bars, written to ``BENCH_PR9.json``:
+
+* at 10^6 rows, ``apply_mask_columnar`` (pure Python, numpy off) must
+  beat the PR 4 row kernel by >= 4x rows/sec, byte-identically;
+* at 10^7 rows (``REPRO_BENCH_1E7=1``, off by default — minutes), the
+  chunk-streamed ``iter_apply_chunked`` run must finish inside a
+  bounded-memory assertion in a subprocess, with sampled chunks
+  byte-identical to the interpreted ``Mask.apply``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
+import resource
 import statistics
+import subprocess
+import sys
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.algebra.relation import Column, Relation
 from repro.algebra.types import INTEGER
@@ -229,6 +244,205 @@ def test_streaming_product_never_materializes_more():
           f"derive {streaming_s * 1e3:.1f}ms vs "
           f"{materializing_s * 1e3:.1f}ms "
           f"({materializing_s / streaming_s:.1f}x)")
+
+
+# ----------------------------------------------------------------------
+# the columnar data plane at 10^6 and 10^7 rows (PR 9)
+# ----------------------------------------------------------------------
+
+SCALE_1E6 = 1_000_000
+SCALE_1E7 = 10_000_000
+COLUMNAR_SPEEDUP_BAR = 4.0
+#: Peak-RSS ceiling for the 10^7 chunked subprocess.  A materialized
+#: 10^7 x 6 answer alone is >1 GB of tuples, so staying under this
+#: bound demonstrates the answer never existed in memory at once.
+RSS_BOUND_1E7_MB = 512
+CHUNK_1E7 = 65_536
+
+BENCH9_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR9.json"
+
+
+def _record9(section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` in ``BENCH_PR9.json``."""
+    results = {}
+    if BENCH9_PATH.exists():
+        results = json.loads(BENCH9_PATH.read_text())
+    results[section] = payload
+    BENCH9_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _peak_rss_mb() -> float:
+    """This process's high-water RSS in MB (Linux: ru_maxrss is KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+
+def iter_scale_rows(count: int, pool_size: int = 4096):
+    """``count`` distinct rows for :func:`build_mask`'s columns.
+
+    The first five columns cycle a small random pool (so constant-hit
+    and interval-hit rates match :func:`build_answer`'s distribution);
+    the last column carries the row counter, making every row distinct
+    — set semantics then never shrink the answer, which keeps row
+    counts exact at any scale.  A generator: 10^7 rows stream without
+    ever being held at once.
+    """
+    rng = random.Random(1234)
+    pool = [
+        tuple(rng.randrange(VALUE_SPACE) for _ in range(ARITY - 1))
+        for _ in range(pool_size)
+    ]
+    for i in range(count):
+        yield pool[i % pool_size] + (i,)
+
+
+def test_columnar_speedup_1e6():
+    """Columnar kernel >= 4x the row kernel at 10^6 rows, identical."""
+    mask = build_mask()
+    compiled = compile_mask(mask)
+    answer = Relation(
+        mask.columns, iter_scale_rows(SCALE_1E6), validate=False,
+    )
+    assert answer.cardinality == SCALE_1E6
+
+    from repro.core.compiled_mask import apply_mask_columnar
+
+    columnar_out = apply_mask_columnar(compiled, answer)
+    row_out = compiled.apply(answer)
+    assert columnar_out == row_out  # identity before speed
+    del columnar_out, row_out
+
+    # The row kernel takes seconds per pass at this scale; three
+    # repeats bound the job's wall time while the median still rejects
+    # a single noisy sample.
+    row_s = _median_seconds(lambda: compiled.apply(answer), repeats=3)
+    columnar_s = _median_seconds(
+        lambda: apply_mask_columnar(compiled, answer), repeats=3,
+    )
+    speedup = row_s / columnar_s
+
+    payload = {
+        "answer_rows": SCALE_1E6,
+        "mask_rows": len(mask.rows),
+        "arity": ARITY,
+        "row_kernel_median_ms": round(row_s * 1e3, 1),
+        "columnar_median_ms": round(columnar_s * 1e3, 1),
+        "row_kernel_rows_per_sec": round(SCALE_1E6 / row_s),
+        "columnar_rows_per_sec": round(SCALE_1E6 / columnar_s),
+        "speedup": round(speedup, 2),
+        "speedup_bar": COLUMNAR_SPEEDUP_BAR,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+    from repro.algebra.columnar import have_numpy
+
+    if have_numpy():
+        numpy_s = _median_seconds(
+            lambda: apply_mask_columnar(compiled, answer,
+                                        use_numpy=True),
+            repeats=3,
+        )
+        payload["columnar_numpy_median_ms"] = round(numpy_s * 1e3, 1)
+        payload["columnar_numpy_rows_per_sec"] = round(
+            SCALE_1E6 / numpy_s
+        )
+
+    _record9("columnar_1e6", payload)
+    print(f"\ncolumnar 1e6: row kernel {row_s * 1e3:.0f}ms "
+          f"({SCALE_1E6 / row_s:,.0f} rows/s)  "
+          f"columnar {columnar_s * 1e3:.0f}ms "
+          f"({SCALE_1E6 / columnar_s:,.0f} rows/s)  "
+          f"speedup {speedup:.1f}x  "
+          f"peak RSS {payload['peak_rss_mb']:.0f}MB")
+    assert speedup >= COLUMNAR_SPEEDUP_BAR, (
+        f"expected >= {COLUMNAR_SPEEDUP_BAR}x over the row kernel, "
+        f"measured {speedup:.2f}x"
+    )
+
+
+#: Driver for the 10^7 bounded-memory run.  Executed in a *subprocess*
+#: so its ru_maxrss is a clean high-water mark of the chunked pipeline
+#: alone, not of whatever this pytest process touched before.
+_DRIVER_1E7 = """
+import json, resource, sys, time
+from bench_mask_apply import build_mask, iter_scale_rows
+from repro.algebra.relation import Relation
+from repro.core.compiled_mask import compile_mask, iter_apply_chunked
+
+count, chunk_size, sample_every = (int(a) for a in sys.argv[1:4])
+mask = build_mask()
+compiled = compile_mask(mask)
+
+start = time.perf_counter()
+rows_seen = 0
+checked_rows = 0
+for index, masked in enumerate(iter_apply_chunked(
+        compiled, iter_scale_rows(count), chunk_size=chunk_size)):
+    chunk_start = rows_seen
+    rows_seen += len(masked)
+    if index % sample_every == 0:
+        # Sampled identity against the interpreted oracle: rebuild
+        # this chunk's rows (the generator is deterministic) and mask
+        # them with Mask.apply.  Rows are globally distinct, so the
+        # throwaway Relation cannot dedupe anything away.
+        rewind = iter_scale_rows(count)
+        for _ in range(chunk_start):
+            next(rewind)
+        chunk_rows = [next(rewind) for _ in range(len(masked))]
+        oracle = mask.apply(Relation(mask.columns, chunk_rows,
+                                     validate=False))
+        assert masked == oracle, f"chunk {index} diverged"
+        checked_rows += len(masked)
+elapsed = time.perf_counter() - start
+
+print(json.dumps({
+    "rows": rows_seen,
+    "elapsed_s": round(elapsed, 2),
+    "rows_per_sec": round(rows_seen / elapsed),
+    "checked_rows": checked_rows,
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+}))
+"""
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_1E7") != "1",
+    reason="10^7-row run takes minutes; opt in with REPRO_BENCH_1E7=1",
+)
+def test_chunked_apply_1e7_bounded_memory():
+    """10^7 rows stream through masking inside a hard RSS bound."""
+    bench_dir = Path(__file__).resolve().parent
+    src_dir = bench_dir.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir), str(bench_dir),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    sample_every = 32  # oracle-check every 32nd chunk (~2% of rows)
+    completed = subprocess.run(
+        [sys.executable, "-c", _DRIVER_1E7, str(SCALE_1E7),
+         str(CHUNK_1E7), str(sample_every)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    stats = json.loads(completed.stdout.splitlines()[-1])
+
+    assert stats["rows"] == SCALE_1E7
+    assert stats["checked_rows"] > 0
+    assert stats["peak_rss_mb"] < RSS_BOUND_1E7_MB, (
+        f"chunked 10^7 run peaked at {stats['peak_rss_mb']}MB RSS; "
+        f"bound is {RSS_BOUND_1E7_MB}MB — the answer must never "
+        f"materialize whole"
+    )
+    _record9("chunked_1e7", {
+        **stats,
+        "chunk_size": CHUNK_1E7,
+        "sample_every_chunks": sample_every,
+        "rss_bound_mb": RSS_BOUND_1E7_MB,
+    })
+    print(f"\nchunked 1e7: {stats['rows']:,} rows in "
+          f"{stats['elapsed_s']}s ({stats['rows_per_sec']:,} rows/s), "
+          f"peak RSS {stats['peak_rss_mb']}MB "
+          f"(bound {RSS_BOUND_1E7_MB}MB), "
+          f"{stats['checked_rows']:,} rows oracle-checked")
 
 
 # ----------------------------------------------------------------------

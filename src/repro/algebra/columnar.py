@@ -1,0 +1,91 @@
+"""Columnar chunk utilities and the optional numpy gate.
+
+The columnar data plane (ROADMAP item 5) views a relation as a tuple
+of per-column value sequences instead of a sequence of row tuples:
+:meth:`repro.algebra.relation.Relation.column_data` exposes that view,
+and the mask kernels in :mod:`repro.core.compiled_mask` evaluate their
+checks as per-column passes over chunks of it.  This module holds the
+pieces both sides share:
+
+* :func:`iter_chunks` — bound an arbitrary row iterator into fixed-size
+  tuples, the unit of work of every chunk-streamed path;
+* :func:`columns_of` — transpose a row chunk into column sequences;
+* :func:`numpy_or_none` — the lazy, *optional* numpy gate.  numpy is
+  never imported at module load and never required: callers that ask
+  for the vectorized path (``EngineConfig.columnar_numpy``) silently
+  fall back to pure Python when the library is absent, so the
+  container needs nothing beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algebra.types import Value
+
+#: A database row (duplicated from ``relation`` to avoid a cycle).
+_Row = Tuple[Value, ...]
+
+#: Default rows per chunk for every chunk-streamed path.  Large enough
+#: that per-chunk fixed costs (transpose, flag allocation) amortize,
+#: small enough that a chunk of wide rows stays comfortably in cache.
+DEFAULT_CHUNK_SIZE = 8192
+
+#: Tri-state numpy cache: ``None`` = not probed yet, ``False`` = probed
+#: and absent, module = probed and importable.
+_numpy_module: Any = None
+_numpy_probed: bool = False
+
+
+def numpy_or_none() -> Optional[Any]:
+    """The numpy module when importable, else ``None`` (cached probe)."""
+    global _numpy_module, _numpy_probed
+    if not _numpy_probed:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - depends on image
+            _numpy_module = None
+        else:
+            _numpy_module = numpy
+        _numpy_probed = True
+    return _numpy_module
+
+
+def have_numpy() -> bool:
+    """Whether the optional numpy path is available at all."""
+    return numpy_or_none() is not None
+
+
+def iter_chunks(rows: Iterable[_Row],
+                chunk_size: int = DEFAULT_CHUNK_SIZE
+                ) -> Iterator[Tuple[_Row, ...]]:
+    """Regroup ``rows`` into tuples of at most ``chunk_size`` rows.
+
+    Bounded memory: only one chunk is buffered at a time.  A
+    non-positive ``chunk_size`` degrades to 1 rather than failing —
+    chunking granularity is an operational knob, never a correctness
+    one.
+    """
+    if chunk_size <= 0:
+        chunk_size = 1
+    buffer: List[_Row] = []
+    append = buffer.append
+    for row in rows:
+        append(row)
+        if len(buffer) >= chunk_size:
+            yield tuple(buffer)
+            buffer.clear()
+    if buffer:
+        yield tuple(buffer)
+
+
+def columns_of(rows: Sequence[_Row],
+               arity: int) -> Tuple[Tuple[Value, ...], ...]:
+    """Transpose a row chunk into per-column value tuples.
+
+    The empty chunk still yields ``arity`` (empty) columns, so callers
+    never have to special-case it.
+    """
+    if not rows:
+        return ((),) * arity
+    return tuple(zip(*rows))

@@ -63,5 +63,8 @@ def trace_naive(query: PSJQuery, database: Database) -> EvaluationTrace:
         current = current.select(condition.evaluate)
         after_selections.append(current)
 
+    # Relation.project runs the per-row index walk through a compiled
+    # row_getter (operator.itemgetter), so even the naive pipeline's
+    # final projection avoids interpreting the index list per row.
     result = current.project(query.output)
     return EvaluationTrace(product, after_selections, result)

@@ -19,8 +19,9 @@ The result is identical to :func:`repro.algebra.evaluate.evaluate_naive`
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+from repro.algebra.columnar import DEFAULT_CHUNK_SIZE
 from repro.algebra.database import Database
 from repro.algebra.expression import (
     AtomicCondition,
@@ -28,8 +29,35 @@ from repro.algebra.expression import (
     Const,
     PSJQuery,
 )
-from repro.algebra.relation import Relation, Row
+from repro.algebra.relation import Relation, Row, row_getter
 from repro.algebra.types import Value
+
+
+def _step_plan(
+    query: PSJQuery, database: Database,
+) -> Tuple[List[int], List[int], List[List[AtomicCondition]]]:
+    """Shared step setup: offsets, widths, and per-step conditions.
+
+    For each occurrence step, gather the conditions that become fully
+    bound once that occurrence is added: a condition joins the step
+    binding the last column it references.  One pass over the
+    conditions; a condition referencing no bindable column (possible
+    only for malformed queries) is dropped, as before.
+    """
+    schema = database.schema
+    offsets = query.offsets(schema)
+    widths = [schema.get(o.relation).arity for o in query.occurrences]
+    bounds: List[int] = []
+    bound_width = 0
+    for width in widths:
+        bound_width += width
+        bounds.append(bound_width)
+    step_conditions: List[List[AtomicCondition]] = [[] for _ in widths]
+    for condition in query.conditions:
+        step = bisect_right(bounds, max(condition.columns(), default=-1))
+        if step < len(step_conditions):
+            step_conditions[step].append(condition)
+    return offsets, widths, step_conditions
 
 
 def evaluate_optimized(query: PSJQuery, database: Database) -> Relation:
@@ -41,24 +69,7 @@ def evaluate_optimized(query: PSJQuery, database: Database) -> Relation:
     """
     query.validate(database.schema)
     schema = database.schema
-    offsets = query.offsets(schema)
-    widths = [schema.get(o.relation).arity for o in query.occurrences]
-
-    # For each occurrence step, gather the conditions that become fully
-    # bound once that occurrence is added: a condition joins the step
-    # binding the last column it references.  One pass over the
-    # conditions; a condition referencing no bindable column (possible
-    # only for malformed queries) is dropped, as before.
-    bounds: List[int] = []
-    bound_width = 0
-    for width in widths:
-        bound_width += width
-        bounds.append(bound_width)
-    step_conditions: List[List[AtomicCondition]] = [[] for _ in widths]
-    for condition in query.conditions:
-        step = bisect_right(bounds, max(condition.columns(), default=-1))
-        if step < len(step_conditions):
-            step_conditions[step].append(condition)
+    offsets, widths, step_conditions = _step_plan(query, database)
 
     partials: List[Row] = [()]
     for step, occ in enumerate(query.occurrences):
@@ -76,9 +87,60 @@ def evaluate_optimized(query: PSJQuery, database: Database) -> Relation:
             break
 
     columns = query.product_columns(schema)
-    result_rows = (tuple(row[i] for i in query.output) for row in partials)
+    result_rows = map(row_getter(query.output), partials)
     out_columns = tuple(columns[i] for i in query.output)
     return Relation(out_columns, result_rows, validate=False)
+
+
+def iter_evaluate_optimized(
+    query: PSJQuery, database: Database,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[Tuple[Row, ...]]:
+    """Evaluate ``query``, yielding deduplicated rows in chunks.
+
+    The streaming counterpart of :func:`evaluate_optimized` (its
+    oracle — soundlint SL005): the concatenated chunks equal
+    ``evaluate_optimized(query, database).rows`` exactly, including
+    order (``tests/property/test_chunked_apply.py``).  Partial rows
+    flow through the same pushdown/hash-join steps as generators, so
+    at most O(chunk) projected rows are buffered — the irreducible
+    memory cost is the hash-join build sides (one relation each) and
+    the set-semantics dedupe set (one entry per *distinct* output
+    row, cheaper than the rows themselves).
+    """
+    query.validate(database.schema)
+    offsets, widths, step_conditions = _step_plan(query, database)
+    if chunk_size <= 0:
+        chunk_size = 1
+
+    partials: Iterable[Row] = ((),)
+    for step, occ in enumerate(query.occurrences):
+        relation = database.instance(occ.relation)
+        conditions = step_conditions[step]
+        offset = offsets[step]
+        equi, residual = _split_equijoin(conditions, offset, widths[step])
+        if equi and relation.rows:
+            partials = _hash_join_iter(partials, relation, offset, equi,
+                                       residual)
+        else:
+            partials = _nested_loop_iter(partials, relation, conditions)
+
+    getter = row_getter(query.output)
+    seen = set()
+    add = seen.add
+    chunk: List[Row] = []
+    append = chunk.append
+    for partial in partials:
+        row = getter(partial)
+        if row in seen:
+            continue
+        add(row)
+        append(row)
+        if len(chunk) >= chunk_size:
+            yield tuple(chunk)
+            chunk.clear()
+    if chunk:
+        yield tuple(chunk)
 
 
 def _split_equijoin(
@@ -165,3 +227,47 @@ def _nested_loop_step(
             if all(c.evaluate(candidate) for c in conditions):
                 out.append(candidate)
     return out
+
+
+def _hash_join_iter(
+    partials: Iterable[Row],
+    relation: Relation,
+    offset: int,
+    equi: Sequence[AtomicCondition],
+    residual: Sequence[AtomicCondition],
+) -> Iterator[Row]:
+    """Generator twin of :func:`_hash_join_step`: same rows, same
+    order, but partial rows flow through without materializing.  The
+    build-side buckets (one relation) are the only retained state."""
+    key_specs = [_probe_key_parts(c, offset, relation.arity) for c in equi]
+    buckets: Dict[Tuple[Value, ...], List[Row]] = {}
+    for row in relation.rows:
+        key = tuple(row[col] for col, _ in key_specs)
+        buckets.setdefault(key, []).append(row)
+
+    for partial in partials:
+        probe: List[Value] = []
+        for _, operand in key_specs:
+            if isinstance(operand, Const):
+                probe.append(operand.value)
+            else:
+                probe.append(partial[operand.index])
+        matches = buckets.get(tuple(probe), ())
+        for row in matches:
+            candidate = partial + row
+            if all(c.evaluate(candidate) for c in residual):
+                yield candidate
+
+
+def _nested_loop_iter(
+    partials: Iterable[Row],
+    relation: Relation,
+    conditions: Sequence[AtomicCondition],
+) -> Iterator[Row]:
+    """Generator twin of :func:`_nested_loop_step`."""
+    rows = relation.rows
+    for partial in partials:
+        for row in rows:
+            candidate = partial + row
+            if all(c.evaluate(candidate) for c in conditions):
+                yield candidate

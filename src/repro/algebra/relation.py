@@ -10,12 +10,29 @@ Relations are immutable: every operator returns a new relation.  Row
 order is preserved deterministically (first-seen order) so experiment
 output is stable, while duplicate rows are removed, giving the set
 semantics the relational model requires.
+
+The row-tuple API is primary; :meth:`Relation.column_data` exposes the
+same rows as a lazily cached *columnar* view (one value tuple per
+column) for the vectorized mask kernels of
+:mod:`repro.core.compiled_mask`, and :meth:`Relation.from_columns`
+builds a relation back from such a view.  Immutability makes the two
+views permanently consistent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+from operator import itemgetter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.algebra.schema import RelationSchema
 from repro.algebra.types import Domain, Value
@@ -49,7 +66,8 @@ class Column:
 class Relation:
     """An immutable relation instance with set semantics."""
 
-    __slots__ = ("columns", "rows", "_row_set")
+    __slots__ = ("columns", "rows", "_row_set", "_column_cache",
+                 "_label_index")
 
     def __init__(self, columns: Sequence[Column], rows: Iterable[Row],
                  validate: bool = True) -> None:
@@ -57,7 +75,11 @@ class Relation:
         deduped: List[Row] = []
         seen = set()
         for row in rows:
-            row = tuple(row)
+            # Operator pipelines overwhelmingly feed tuples already;
+            # re-allocating each one dominated construction at 10^6
+            # rows, so only genuinely foreign sequences are converted.
+            if type(row) is not tuple:
+                row = tuple(row)
             if validate:
                 self._validate_row(row)
             if row not in seen:
@@ -65,6 +87,9 @@ class Relation:
                 deduped.append(row)
         self.rows: Tuple[Row, ...] = tuple(deduped)
         self._row_set = seen
+        self._column_cache: Optional[Tuple[Tuple[Value, ...], ...]] = \
+            None
+        self._label_index: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -79,6 +104,33 @@ class Relation:
             for a in schema.attributes
         )
         return cls(columns, rows)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Column],
+        column_data: Sequence[Sequence[Value]],
+        validate: bool = False,
+    ) -> "Relation":
+        """Build a relation from per-column value sequences.
+
+        The inverse of :meth:`column_data`: ``column_data[c][i]`` is
+        the value of column ``c`` in row ``i``.  All columns must have
+        equal length; set semantics (dedupe, first-seen order) apply
+        exactly as in row-wise construction.  A zero-column relation
+        cannot recover its row count from columns and comes back empty.
+        """
+        if len(column_data) != len(columns):
+            raise TypeMismatchError(
+                f"{len(column_data)} data columns != "
+                f"{len(columns)} column descriptors"
+            )
+        lengths = {len(col) for col in column_data}
+        if len(lengths) > 1:
+            raise TypeMismatchError(
+                f"ragged column data: lengths {sorted(lengths)}"
+            )
+        return cls(columns, zip(*column_data), validate=validate)
 
     def _validate_row(self, row: Row) -> None:
         if len(row) != len(self.columns):
@@ -111,14 +163,41 @@ class Relation:
         return tuple(c.label for c in self.columns)
 
     def index_of(self, label: str) -> int:
-        """Position of the column labelled ``label``."""
-        for i, column in enumerate(self.columns):
-            if column.label == label:
-                return i
-        raise EvaluationError(f"no column labelled {label!r}")
+        """Position of the (first) column labelled ``label``."""
+        index = self._label_index
+        if index is None:
+            index = {}
+            for i, column in enumerate(self.columns):
+                index.setdefault(column.label, i)
+            self._label_index = index
+        try:
+            return index[label]
+        except KeyError:
+            raise EvaluationError(
+                f"no column labelled {label!r}"
+            ) from None
+
+    def column_data(self) -> Tuple[Tuple[Value, ...], ...]:
+        """The columnar view: one value tuple per column, row order.
+
+        Lazily transposed from :attr:`rows` on first call and cached —
+        immutability keeps the two views consistent forever.  This is
+        the representation the vectorized mask kernels
+        (:mod:`repro.core.compiled_mask`) scan.
+        """
+        cached = self._column_cache
+        if cached is None:
+            if self.rows:
+                cached = tuple(zip(*self.rows))
+            else:
+                cached = ((),) * self.arity
+            self._column_cache = cached
+        return cached
 
     def column_values(self, index: int) -> Tuple[Value, ...]:
         """All values in column ``index``, in row order."""
+        if self._column_cache is not None:
+            return self._column_cache[index]
         return tuple(row[index] for row in self.rows)
 
     def __contains__(self, row: Row) -> bool:
@@ -171,8 +250,8 @@ class Relation:
             if not 0 <= index < self.arity:
                 raise EvaluationError(f"projection index {index} out of range")
         columns = tuple(self.columns[i] for i in indices)
-        rows = (tuple(row[i] for i in indices) for row in self.rows)
-        return Relation(columns, rows, validate=False)
+        return Relation(columns, map(row_getter(indices), self.rows),
+                        validate=False)
 
     # ------------------------------------------------------------------
     # supplementary operators (used by baselines and the oracle)
@@ -217,6 +296,24 @@ class Relation:
             f"Relation({', '.join(self.labels())}; "
             f"{self.cardinality} rows)"
         )
+
+
+def row_getter(indices: Sequence[int]) -> Callable[[Row], Row]:
+    """A tuple-returning projection function for ``indices``.
+
+    ``operator.itemgetter`` runs the index walk in C — measurably
+    faster than a per-row generator expression — but returns a bare
+    value for a single index and cannot express the empty projection;
+    this helper papers over both edges.  Shared by
+    :meth:`Relation.project` and the evaluators.
+    """
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda row: (row[index],)
+    getter: Callable[[Row], Row] = itemgetter(*indices)
+    return getter
 
 
 def empty_like(relation: Relation) -> Relation:

@@ -13,6 +13,7 @@ A :class:`DatabaseSchema` is a set of relation schemes indexed by name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.algebra.types import Domain
@@ -79,9 +80,21 @@ class RelationSchema:
         """The attribute names, in scheme order."""
         return tuple(a.name for a in self.attributes)
 
+    @cached_property
+    def _index_map(self) -> Dict[str, int]:
+        """Attribute name → position, built once per scheme.
+
+        Plan compilation and canonicalization resolve attributes
+        constantly; the linear scan this replaces was measurable on
+        wide schemes.  The dataclass is frozen, so the map can never
+        go stale (``cached_property`` writes straight to ``__dict__``,
+        which frozen dataclasses without ``__slots__`` still have).
+        """
+        return {a.name: i for i, a in enumerate(self.attributes)}
+
     def has_attribute(self, name: str) -> bool:
         """Report whether ``name`` is an attribute of this scheme."""
-        return any(a.name == name for a in self.attributes)
+        return name in self._index_map
 
     def index_of(self, name: str) -> int:
         """Return the position of attribute ``name``.
@@ -89,10 +102,10 @@ class RelationSchema:
         Raises:
             UnknownAttributeError: when the attribute does not exist.
         """
-        for i, attribute in enumerate(self.attributes):
-            if attribute.name == name:
-                return i
-        raise UnknownAttributeError(self.name, name)
+        try:
+            return self._index_map[name]
+        except KeyError:
+            raise UnknownAttributeError(self.name, name) from None
 
     def attribute(self, name: str) -> Attribute:
         """Return the attribute named ``name``."""

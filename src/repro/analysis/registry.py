@@ -24,6 +24,10 @@ FAIL_CLOSED_BOUNDARIES: FrozenSet[str] = frozenset({
     "repro.core.engine:AuthorizationEngine.authorize",
     "repro.core.engine:AuthorizationEngine.authorize_batch",
     "repro.core.engine:AuthorizationEngine.authorize_degraded",
+    # The streaming pair: establishment failures fail the whole stream
+    # closed, delivery failures fail the *remainder* closed.
+    "repro.core.engine:AuthorizationEngine.authorize_stream",
+    "repro.core.engine:AuthorizationEngine._stream_chunks",
     "repro.metaalgebra.ladder:derive_mask_resilient",
 })
 
@@ -110,6 +114,20 @@ FAST_PATHS: Dict[str, OracleEntry] = {
         oracle="repro.core.mask.Mask.apply",
         test="tests/property/test_compiled_mask.py",
     ),
+    # The columnar kernel and its chunk-streamed form both answer to
+    # the interpreted Mask.apply, like the row kernel above.
+    "repro.core.compiled_mask.apply_mask_columnar": OracleEntry(
+        oracle="repro.core.mask.Mask.apply",
+        test="tests/property/test_columnar_relation.py",
+    ),
+    "repro.core.compiled_mask.iter_apply_chunked": OracleEntry(
+        oracle="repro.core.mask.Mask.apply",
+        test="tests/property/test_chunked_apply.py",
+    ),
+    "repro.algebra.optimize.iter_evaluate_optimized": OracleEntry(
+        oracle="repro.algebra.optimize.evaluate_optimized",
+        test="tests/property/test_chunked_apply.py",
+    ),
     "repro.metaalgebra.product.meta_product_streaming": OracleEntry(
         oracle="repro.metaalgebra.product.meta_product",
         test="tests/property/test_streaming_product.py",
@@ -121,7 +139,9 @@ FAST_PATHS: Dict[str, OracleEntry] = {
 #: calculus *compilers* (``compile_query`` — AST to plan) are not fast
 #: paths, so plain ``compile_`` is not a marker; a fast path announces
 #: itself either by name or by living in a marked module (below).
-FAST_PATH_MARKERS: Tuple[str, ...] = ("compiled", "streaming")
+FAST_PATH_MARKERS: Tuple[str, ...] = (
+    "compiled", "streaming", "columnar", "chunked",
+)
 
 #: Modules that *contain* fast paths: every public ``compile_*`` /
 #: ``*_streaming`` function defined here must be registered.

@@ -24,6 +24,16 @@ The protocol is deliberately small: the engine only ever needs
 itself so the audited answer and the delivered rows stay consistent),
 while :meth:`ExecutionBackend.execute_masked` is the data-plane API
 that lets SQL backends mask *inside* the query engine.
+
+Backends may additionally offer ``execute_stream(plan, chunk_size)``
+yielding deduplicated answer rows in chunks — an *optional*
+capability, not part of the protocol: the resilient executor probes
+for it with ``getattr`` and falls back to materializing
+:meth:`ExecutionBackend.execute` output and chunking it, so SQL
+backends keep working in streamed deliveries unchanged.  Where
+provided, the concatenated chunks must equal ``execute(plan).rows``
+exactly, including order (soundlint SL005 pairs the Python backend's
+implementation with its materializing oracle).
 """
 
 from __future__ import annotations

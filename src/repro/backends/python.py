@@ -10,13 +10,14 @@ backends are differentially tested against
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
+from repro.algebra.columnar import DEFAULT_CHUNK_SIZE
 from repro.algebra.database import Database
 from repro.algebra.expression import PSJQuery
-from repro.algebra.optimize import evaluate_optimized
-from repro.algebra.relation import Relation
-from repro.core.compiled_mask import CompiledMask
+from repro.algebra.optimize import evaluate_optimized, iter_evaluate_optimized
+from repro.algebra.relation import Relation, Row
+from repro.core.compiled_mask import CompiledMask, apply_mask_columnar
 from repro.core.mask import Mask
 from repro.errors import BackendError
 
@@ -50,16 +51,49 @@ class PythonBackend:
         """Evaluate ``plan`` with the optimized in-process evaluator."""
         return evaluate_optimized(plan, self._require_database())
 
+    def execute_stream(
+        self,
+        plan: PSJQuery,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[Tuple[Row, ...]]:
+        """Evaluate ``plan``, yielding deduplicated rows in chunks.
+
+        The bounded-memory counterpart of :meth:`execute`: the
+        concatenated chunks equal ``execute(plan).rows`` exactly,
+        including order, but the answer is never materialized whole
+        (see :func:`repro.algebra.optimize.iter_evaluate_optimized`
+        for what *is* retained).
+        """
+        return iter_evaluate_optimized(
+            plan, self._require_database(), chunk_size=chunk_size
+        )
+
     def execute_masked(
         self,
         plan: PSJQuery,
         mask: Mask,
         compiled: Optional[CompiledMask] = None,
         drop_fully_masked: bool = False,
+        columnar: bool = True,
+        use_numpy: bool = False,
     ) -> Tuple[Tuple, ...]:
-        """Evaluate then mask — the reference composition."""
+        """Evaluate then mask — the reference composition.
+
+        With a ``compiled`` mask the columnar kernel
+        (:func:`repro.core.compiled_mask.apply_mask_columnar`) is the
+        default route; ``columnar=False`` selects the PR 4 row kernel
+        and ``use_numpy=True`` opts the columnar kernel into its numpy
+        broadcast path.  All three routes are byte-identical
+        (``tests/property/test_columnar_relation.py``).
+        """
         answer = self.execute(plan)
         if compiled is not None:
+            if columnar:
+                return apply_mask_columnar(
+                    compiled, answer,
+                    drop_fully_masked=drop_fully_masked,
+                    use_numpy=use_numpy,
+                )
             return compiled.apply(
                 answer, drop_fully_masked=drop_fully_masked
             )

@@ -144,6 +144,33 @@ class EngineConfig:
             another's).
         breaker_recovery_ms: breaker cool-down before a half-open
             probe is allowed.
+        columnar_masks: apply compiled masks through the columnar
+            kernel (``repro.core.compiled_mask.apply_mask_columnar``):
+            the answer is viewed column-wise and each mask-row check —
+            constant hash probe, equality group, interval — runs as a
+            per-column pass over a chunk of rows instead of per row.
+            Delivered rows are byte-identical to the row-at-a-time
+            kernel and to the interpreted :meth:`repro.core.mask.
+            Mask.apply` (``tests/property/test_columnar_relation.py``);
+            the switch opts back into the row kernel for A/B
+            benchmarking.  See ``docs/PERFORMANCE.md``.
+        columnar_numpy: accelerate the columnar kernel's broadcast
+            passes (constant-free mask rows: equality groups and
+            interval filters) with numpy when the library is
+            importable.  Off by default — the pure-Python columnar
+            kernel is the reference; output is identical either way,
+            and the flag silently degrades to pure Python when numpy
+            is absent (no hard dependency).
+        stream_chunk_size: rows per delivered chunk in
+            :meth:`~repro.core.engine.AuthorizationEngine.
+            authorize_stream` (and the default chunk granularity of
+            the streaming evaluator).  Memory held per request is
+            O(chunk) plus the evaluator's dedupe set.
+        max_stream_rows: budget — cap on total rows a single streamed
+            answer may deliver (0 = unlimited).  Exceeding it fails
+            the *remainder* of the stream closed: chunks already
+            yielded stand, the stream ends with
+            :attr:`~repro.core.stream.AnswerStream.error` set.
     """
 
     refine_selection: bool = True
@@ -171,6 +198,10 @@ class EngineConfig:
     backend_retry_jitter_ms: float = 0.0
     breaker_failure_threshold: int = 5
     breaker_recovery_ms: float = 1000.0
+    columnar_masks: bool = True
+    columnar_numpy: bool = False
+    stream_chunk_size: int = 8192
+    max_stream_rows: int = 0
 
     def but(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this config with ``changes`` applied."""

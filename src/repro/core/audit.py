@@ -98,6 +98,48 @@ class AuditLog:
                 del self._records[0:len(self._records) - self.capacity]
         return entry
 
+    def record_stream(
+        self,
+        user: str,
+        statement: str,
+        admissible_views: Tuple[str, ...],
+        stats: DeliveryStats,
+        permit_statements: Tuple[str, ...] = (),
+        cache_hit: bool = False,
+        degradation_level: int = 0,
+        error: Optional[str] = None,
+        backend_used: Optional[str] = None,
+        failover_reason: Optional[str] = None,
+    ) -> AuditRecord:
+        """Append a record for a chunk-streamed delivery (thread-safe).
+
+        Streamed answers are never materialized, so there is no
+        :class:`~repro.core.answer.AuthorizedAnswer` to hand to
+        :meth:`record`; the engine accounts cells chunk-by-chunk as it
+        delivers them and reports the totals here once the stream ends
+        (exhausted, failed closed, or abandoned by the consumer — the
+        record covers exactly what was actually delivered).
+        """
+        with self._lock:
+            entry = AuditRecord(
+                sequence=next(self._counter),
+                user=user,
+                statement=statement,
+                admissible_views=admissible_views,
+                stats=stats,
+                permit_statements=permit_statements,
+                cache_hit=cache_hit,
+                degradation_level=degradation_level,
+                error=error,
+                backend_used=backend_used,
+                failover_reason=failover_reason,
+            )
+            self._records.append(entry)
+            if self.capacity is not None \
+                    and len(self._records) > self.capacity:
+                del self._records[0:len(self._records) - self.capacity]
+        return entry
+
     # ------------------------------------------------------------------
     # queries over the trail
     # ------------------------------------------------------------------

@@ -34,12 +34,42 @@ version token, so compilation is amortized exactly like derivation
 (``docs/CACHING.md``), and ``EngineConfig.compiled_masks`` opts back
 into the interpreted path for A/B benchmarking
 (``docs/PERFORMANCE.md``).
+
+On top of the row-at-a-time kernel this module provides the *columnar*
+data plane (ROADMAP item 5): :func:`apply_mask_columnar` evaluates the
+same compiled checks as per-column passes over the answer's
+:meth:`~repro.algebra.relation.Relation.column_data` view — constant
+signatures become one hash-probe sweep per column group, equality
+groups one paired-column comparison pass, intervals one membership
+pass with normalization hoisted — and :func:`iter_apply_chunked`
+streams those passes over bounded chunks so a 10^7-row answer is
+masked in O(chunk) memory.  Both are registered fast paths under the
+same SL005 discipline, with the interpreted ``Mask.apply`` still the
+oracle (``tests/property/test_columnar_relation.py``,
+``tests/property/test_chunked_apply.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.algebra.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    columns_of,
+    iter_chunks,
+    numpy_or_none,
+)
 from repro.algebra.relation import Relation, Row
 from repro.algebra.to_sql import MaskPredicateRow, MaskPredicateView
 from repro.algebra.types import Value
@@ -47,6 +77,9 @@ from repro.core.mask import MASKED, Mask
 from repro.meta.metatuple import MetaTuple
 from repro.predicates.intervals import Interval
 from repro.predicates.store import ConstraintStore
+
+#: Per-column value sequences of one chunk (see ``columns_of``).
+Columns = Tuple[Tuple[Value, ...], ...]
 
 
 class CompiledRow:
@@ -60,7 +93,7 @@ class CompiledRow:
     """
 
     __slots__ = ("star_set", "eq_groups", "interval_checks",
-                 "binding_spec", "store")
+                 "binding_spec", "store", "_members")
 
     def __init__(
         self,
@@ -75,6 +108,24 @@ class CompiledRow:
         self.interval_checks = interval_checks
         self.binding_spec = binding_spec
         self.store = store
+        self._members: Optional[
+            Tuple[Tuple[int, Callable[[Value], bool]], ...]] = None
+
+    def members(self) -> Tuple[Tuple[int, Callable[[Value], bool]], ...]:
+        """Interval checks as compiled membership closures.
+
+        :meth:`Interval.membership` hoists normalization out of the
+        per-value test; built lazily so the row kernel (which calls
+        ``Interval.contains`` directly) pays nothing for it.
+        """
+        members = self._members
+        if members is None:
+            members = tuple(
+                (position, interval.membership())
+                for position, interval in self.interval_checks
+            )
+            self._members = members
+        return members
 
     def matches(self, values: Row) -> bool:
         """Does this row admit ``values``?  (Constants already probed.)"""
@@ -100,7 +151,7 @@ class CompiledMask:
     """A mask lowered to a constant hash index plus compiled rows."""
 
     __slots__ = ("ncols", "always_visible", "groups", "covers_all",
-                 "_masked_template", "_full_set")
+                 "_masked_template", "_full_set", "_columnar")
 
     def __init__(self, ncols: int, always_visible: FrozenSet[int],
                  groups: Tuple[
@@ -115,6 +166,7 @@ class CompiledMask:
         self.covers_all = ncols > 0 and len(always_visible) == ncols
         self._masked_template = (MASKED,) * ncols
         self._full_set = frozenset(range(ncols))
+        self._columnar: Optional[_ColumnarPlan] = None
 
     # ------------------------------------------------------------------
     # matching
@@ -170,6 +222,335 @@ class CompiledMask:
                     for i, value in enumerate(values)
                 ))
         return tuple(delivered)
+
+    # ------------------------------------------------------------------
+    # the columnar kernel (vectorized column-wise passes)
+    # ------------------------------------------------------------------
+
+    def columnar_plan(self) -> "_ColumnarPlan":
+        """The hash index re-keyed for column sweeps (built lazily).
+
+        Single-position constant groups are re-keyed by the bare value
+        so the per-value probe needs no tuple allocation, and rows
+        with *no* constants are pulled out as broadcast rows — they
+        are evaluated once per chunk as whole-column passes instead of
+        being probed per row.
+        """
+        plan = self._columnar
+        if plan is None:
+            probes: List[Tuple[Tuple[int, ...],
+                               Dict[Any, List[CompiledRow]]]] = []
+            broadcast: List[CompiledRow] = []
+            for positions, buckets in self.groups:
+                if not positions:
+                    for rows in buckets.values():
+                        broadcast.extend(rows)
+                elif len(positions) == 1:
+                    probes.append((positions, {
+                        key[0]: rows for key, rows in buckets.items()
+                    }))
+                else:
+                    probes.append(
+                        (positions, dict(buckets))
+                    )
+            plan = _ColumnarPlan(tuple(probes), tuple(broadcast))
+            self._columnar = plan
+        return plan
+
+    def apply_rows(self, rows: Sequence[Row],
+                   drop_fully_masked: bool = False,
+                   use_numpy: bool = False) -> Tuple[Tuple, ...]:
+        """Mask one chunk of (already deduplicated) rows columnar-ly.
+
+        The chunk unit of :func:`iter_apply_chunked`; byte-identical
+        to :meth:`apply` over a relation holding exactly ``rows``.
+        """
+        if not rows:
+            return ()
+        return self.apply_columns(
+            columns_of(rows, self.ncols), len(rows),
+            drop_fully_masked=drop_fully_masked, use_numpy=use_numpy,
+        )
+
+    def apply_columns(self, cols: Columns, nrows: int,
+                      drop_fully_masked: bool = False,
+                      use_numpy: bool = False) -> Tuple[Tuple, ...]:
+        """Mask ``nrows`` rows given as per-column value sequences."""
+        ncols = self.ncols
+        if ncols == 0:
+            # A zero-column row has no visible cells; the interpreted
+            # path still delivers it as () unless dropping.
+            return () if drop_fully_masked else ((),) * nrows
+        if self.covers_all:
+            return tuple(zip(*cols))
+        vis = self._match_columns(cols, nrows, use_numpy)
+        out_cols: List[Sequence[Value]] = []
+        for c in range(ncols):
+            flags = vis[c]
+            if flags is None:
+                out_cols.append(cols[c])
+            else:
+                out_cols.append([
+                    value if flag else MASKED
+                    for value, flag in zip(cols[c], flags)
+                ])
+        delivered = zip(*out_cols)
+        if drop_fully_masked and not self.always_visible:
+            keep = bytearray(nrows)
+            for flags in vis:
+                assert flags is not None
+                for i, flag in enumerate(flags):
+                    if flag:
+                        keep[i] = 1
+            return tuple(
+                row for row, kept in zip(delivered, keep) if kept
+            )
+        return tuple(delivered)
+
+    def _match_columns(
+        self, cols: Columns, nrows: int, use_numpy: bool,
+    ) -> List[Optional[bytearray]]:
+        """Visibility flags per column (``None`` = always visible)."""
+        vis: List[Optional[bytearray]] = [
+            None if c in self.always_visible else bytearray(nrows)
+            for c in range(self.ncols)
+        ]
+        plan = self.columnar_plan()
+        numpy = numpy_or_none() if use_numpy else None
+        arrays: Dict[int, Any] = {}
+
+        # Constant-signature groups: one hash-probe sweep per group,
+        # grouping hit indices by value so each matching mask row runs
+        # its residual checks over exactly its candidate rows.
+        for positions, probe in plan.probes:
+            hits: Dict[Any, List[int]] = {}
+            get = probe.get
+            if len(positions) == 1:
+                keys: Iterable[Any] = cols[positions[0]]
+            else:
+                keys = zip(*(cols[p] for p in positions))
+            for i, key in enumerate(keys):
+                if get(key) is None:
+                    continue
+                acc = hits.get(key)
+                if acc is None:
+                    hits[key] = acc = []
+                acc.append(i)
+            for key, candidates in hits.items():
+                for row in probe[key]:
+                    matched = _filter_candidates(row, cols, candidates)
+                    if matched:
+                        _mark(row.star_set, matched, vis)
+
+        # Broadcast rows (no constants): whole-column passes.  Rows
+        # sharing an equality-group shape share its scan via the cache
+        # — the common many-intervals-over-one-join-shape masks then
+        # pay the expensive pass once per chunk, not once per row.
+        eq_cache: Dict[Tuple[Tuple[int, ...], ...], List[int]] = {}
+        for row in plan.broadcast:
+            matched_b = None
+            if numpy is not None:
+                matched_b = _broadcast_numpy(row, cols, nrows, numpy,
+                                             arrays)
+            if matched_b is None:
+                matched_b = _broadcast_candidates(row, cols, nrows,
+                                                  eq_cache)
+            if matched_b:
+                _mark(row.star_set, matched_b, vis)
+        return vis
+
+
+class _ColumnarPlan:
+    """The hash index of a :class:`CompiledMask`, re-keyed for sweeps.
+
+    ``probes`` holds the constant-signature groups (single-position
+    groups keyed by bare value, multi-position by value tuple);
+    ``broadcast`` holds the rows with no constant cells, which are
+    evaluated as whole-column passes.
+    """
+
+    __slots__ = ("probes", "broadcast")
+
+    def __init__(
+        self,
+        probes: Tuple[Tuple[Tuple[int, ...],
+                            Dict[Any, List[CompiledRow]]], ...],
+        broadcast: Tuple[CompiledRow, ...],
+    ) -> None:
+        self.probes = probes
+        self.broadcast = broadcast
+
+
+def _mark(star_set: FrozenSet[int], indices: Sequence[int],
+          vis: List[Optional[bytearray]]) -> None:
+    """Set the visibility flag of ``indices`` in each starred column."""
+    for column in star_set:
+        flags = vis[column]
+        if flags is None:
+            continue
+        for i in indices:
+            flags[i] = 1
+
+
+def _filter_candidates(row: CompiledRow, cols: Columns,
+                       candidates: List[int]) -> List[int]:
+    """Narrow candidate row indices by ``row``'s residual checks.
+
+    The columnar counterpart of :meth:`CompiledRow.matches`: equality
+    groups first (cheap tuple compares), then the hoisted interval
+    memberships, then — rarely — the full constraint-store residual.
+    Each pass is a single comprehension over the surviving indices.
+    """
+    for group in row.eq_groups:
+        base = cols[group[0]]
+        for position in group[1:]:
+            other = cols[position]
+            candidates = [
+                i for i in candidates if other[i] == base[i]
+            ]
+            if not candidates:
+                return candidates
+    for position, member in row.members():
+        column = cols[position]
+        candidates = [i for i in candidates if member(column[i])]
+        if not candidates:
+            return candidates
+    if row.binding_spec is not None:
+        store = row.store
+        assert store is not None
+        spec = row.binding_spec
+        candidates = [
+            i for i in candidates
+            if store.satisfied_by(
+                {var: cols[position][i] for var, position in spec}
+            )
+        ]
+    return candidates
+
+
+def _broadcast_candidates(
+    row: CompiledRow, cols: Columns, nrows: int,
+    eq_cache: Dict[Tuple[Tuple[int, ...], ...], List[int]],
+) -> Sequence[int]:
+    """Indices matched by a constant-free row, via full-column passes.
+
+    The first equality-group scan is the expensive one (it touches
+    every row of the chunk); rows sharing the same group shape share
+    it through ``eq_cache``.
+    """
+    candidates: Optional[List[int]] = None
+    if row.eq_groups:
+        candidates = eq_cache.get(row.eq_groups)
+        if candidates is None:
+            for group in row.eq_groups:
+                base = cols[group[0]]
+                for position in group[1:]:
+                    other = cols[position]
+                    if candidates is None:
+                        candidates = [
+                            i for i, (a, b)
+                            in enumerate(zip(base, other)) if a == b
+                        ]
+                    else:
+                        candidates = [
+                            i for i in candidates
+                            if other[i] == base[i]
+                        ]
+            assert candidates is not None
+            eq_cache[row.eq_groups] = candidates
+    for position, member in row.members():
+        column = cols[position]
+        if candidates is None:
+            candidates = [
+                i for i, value in enumerate(column) if member(value)
+            ]
+        else:
+            candidates = [
+                i for i in candidates if member(column[i])
+            ]
+        if not candidates:
+            return candidates
+    if row.binding_spec is not None:
+        store = row.store
+        assert store is not None
+        spec = row.binding_spec
+        pool: Iterable[int] = (
+            range(nrows) if candidates is None else candidates
+        )
+        candidates = [
+            i for i in pool
+            if store.satisfied_by(
+                {var: cols[position][i] for var, position in spec}
+            )
+        ]
+    if candidates is None:
+        # No checks at all would have made the row unconditional (it
+        # lives in always_visible); reaching here means every check
+        # passed for every row of the chunk.
+        return range(nrows)
+    return candidates
+
+
+def _broadcast_numpy(
+    row: CompiledRow, cols: Columns, nrows: int, numpy: Any,
+    arrays: Dict[int, Any],
+) -> Optional[Sequence[int]]:
+    """The vectorized variant of :func:`_broadcast_candidates`.
+
+    Returns ``None`` when the row is not profitably or safely
+    vectorizable — constraint-store residuals, or comparisons numpy
+    refuses (mixed-type interval bounds) — in which case the caller
+    falls back to the pure pass, whose semantics (including raised
+    ``TypeError`` on genuinely incomparable values) are the reference.
+    """
+    if row.binding_spec is not None:
+        return None
+    if not row.eq_groups and not row.interval_checks:
+        return None
+
+    def arr(position: int) -> Any:
+        cached = arrays.get(position)
+        if cached is None:
+            arrays[position] = cached = numpy.asarray(cols[position])
+        return cached
+
+    try:
+        match = None
+        for group in row.eq_groups:
+            base = arr(group[0])
+            for position in group[1:]:
+                eq = base == arr(position)
+                if eq is False or eq is True:
+                    # dtype clash collapsed to a scalar: every pair
+                    # compares equal/unequal wholesale.
+                    eq = numpy.full(nrows, bool(eq))
+                match = eq if match is None else (match & eq)
+        for position, interval in row.interval_checks:
+            norm = interval.normalized()
+            column = arr(position)
+            if norm.lo is not None:
+                bound = (column > norm.lo) if norm.lo_strict \
+                    else (column >= norm.lo)
+                match = bound if match is None else (match & bound)
+            if norm.hi is not None:
+                bound = (column < norm.hi) if norm.hi_strict \
+                    else (column <= norm.hi)
+                match = bound if match is None else (match & bound)
+            for value in norm.excluded:
+                # Per-value != rather than isin: isin would promote
+                # the excluded values to the column dtype (int 3 to
+                # "3" against a string column), widening the
+                # exclusion beyond the pure path's semantics.
+                bound = column != value
+                if bound is True or bound is False:
+                    bound = numpy.full(nrows, bool(bound))
+                match = bound if match is None else (match & bound)
+    except TypeError:
+        return None
+    if match is None:  # pragma: no cover - guarded above
+        return None
+    result: List[int] = numpy.flatnonzero(match).tolist()
+    return result
 
 
 def _compile_row(meta: MetaTuple, store: ConstraintStore) -> Optional[
@@ -395,3 +776,47 @@ def compile_mask(mask: Mask) -> CompiledMask:
 
     groups = tuple(index.items())
     return CompiledMask(ncols, frozenset(always_visible), groups)
+
+
+def apply_mask_columnar(compiled: CompiledMask, answer: Relation,
+                        drop_fully_masked: bool = False,
+                        use_numpy: bool = False) -> Tuple[Tuple, ...]:
+    """Mask ``answer`` through the columnar kernel.
+
+    Byte-identical to :meth:`CompiledMask.apply` and to the
+    interpreted oracle :meth:`repro.core.mask.Mask.apply`
+    (``tests/property/test_columnar_relation.py``); only the scan
+    order differs — per-column passes over the relation's cached
+    :meth:`~repro.algebra.relation.Relation.column_data` view instead
+    of per-row probes.  ``use_numpy`` additionally vectorizes the
+    broadcast passes when numpy is importable (and silently does not
+    when it isn't).
+    """
+    return compiled.apply_columns(
+        answer.column_data(), len(answer.rows),
+        drop_fully_masked=drop_fully_masked, use_numpy=use_numpy,
+    )
+
+
+def iter_apply_chunked(
+    compiled: CompiledMask,
+    rows: Iterable[Row],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    drop_fully_masked: bool = False,
+    use_numpy: bool = False,
+) -> Iterator[Tuple[Tuple, ...]]:
+    """Mask a row stream chunk-by-chunk in O(chunk) memory.
+
+    The concatenation of the yielded chunks is byte-identical to
+    masking the materialized stream with :meth:`CompiledMask.apply` /
+    ``Mask.apply`` — for any chunk size, including 1 and sizes beyond
+    the stream length (``tests/property/test_chunked_apply.py``).
+    ``rows`` must already be deduplicated (relation rows and the
+    streaming evaluator's output both are); masking is per-row, so
+    chunk boundaries cannot change any delivered cell.
+    """
+    for chunk in iter_chunks(rows, chunk_size):
+        yield compiled.apply_rows(
+            chunk, drop_fully_masked=drop_fully_masked,
+            use_numpy=use_numpy,
+        )

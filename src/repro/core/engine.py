@@ -29,8 +29,10 @@ from typing import (
     TYPE_CHECKING,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
@@ -41,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.algebra.database import Database
 from repro.algebra.expression import PSJQuery
-from repro.algebra.relation import Relation
+from repro.algebra.relation import Column, Relation, Row
 from repro.backends import BACKEND_NAMES, make_backend
 from repro.calculus.ast import Query, ViewDefinition
 from repro.calculus.to_algebra import compile_query
@@ -52,9 +54,14 @@ from repro.core.cache import (
     DerivationCache,
     DerivationCacheLike,
 )
-from repro.core.compiled_mask import CompiledMask, compile_mask
+from repro.core.compiled_mask import (
+    CompiledMask,
+    apply_mask_columnar,
+    compile_mask,
+)
 from repro.core.mask import Mask
 from repro.core.statements import InferredPermit, infer_permits
+from repro.core.stream import AnswerStream, MaskedChunk
 from repro.errors import (
     BackendUnavailableError,
     ParseError,
@@ -71,12 +78,14 @@ from repro.metaalgebra.ladder import (
     empty_derivation,
     rung_config,
 )
+from repro.metaalgebra.budget import Budget
 from repro.metaalgebra.plan import MaskDerivation
 from repro.metaalgebra.selfjoin import selfjoin_closure
 from repro.resilience.breaker import BreakerPolicy
 from repro.resilience.failover import (
     ExecutionOutcome,
     ResilientExecutor,
+    StreamOutcome,
 )
 from repro.resilience.retry import RetryPolicy
 from repro.testing.faults import maybe_fault
@@ -331,6 +340,212 @@ class AuthorizationEngine:
             answers.append(authorized)
         return tuple(answers)
 
+    def authorize_stream(
+        self, user: str, query: Union[Query, str],
+        chunk_size: Optional[int] = None,
+    ) -> AnswerStream:
+        """Answer ``query`` for ``user`` as a bounded-memory stream.
+
+        The iterator mode of :meth:`authorize`: the same mask
+        derivation (same cache), the same permits, the same fail-closed
+        contract — but the answer is evaluated, masked (columnar
+        kernel), and delivered chunk-by-chunk, so it is never
+        materialized whole.  The concatenated chunks are byte-identical
+        to :attr:`AuthorizedAnswer.delivered` for the same request
+        (``tests/test_stream.py``).
+
+        Divergences forced by streaming:
+
+        * a failure *after* the first chunk cannot retry or fail over
+          (re-running the plan could duplicate already-delivered
+          rows); the stream ends early with
+          :attr:`AnswerStream.error` set and the remainder withheld —
+          fail-closed, per prefix.  Establishment failures still get
+          the full retry/breaker/failover ladder.
+        * ``config.max_stream_rows`` (via
+          :meth:`repro.metaalgebra.budget.Budget.charge_stream`)
+          bounds total delivery; the offending chunk is withheld.
+        * the audit record is written when the stream *ends* —
+          exhausted, failed, or closed by the consumer — covering
+          exactly the delivered prefix.
+
+        Args:
+            chunk_size: rows per chunk; defaults to
+                ``config.stream_chunk_size``.
+        """
+        query = self._parse_query(query, "authorize_stream")
+        plan = self._compile(query)
+        size = (
+            chunk_size if chunk_size is not None and chunk_size > 0
+            else self.config.stream_chunk_size
+        )
+        try:
+            derivation, hit = self._derive_plan(user, plan)
+            assert derivation.mask is not None
+            if derivation.degradation_level >= EMPTY_LEVEL:
+                stream = self._denied_stream(
+                    user, query, plan, size,
+                    derivation.degradation_reason or "denied",
+                )
+            else:
+                mask = Mask.from_table(derivation.mask)
+                compiled = self._compiled_for(user, plan, derivation)
+                outcome = self._evaluate_stream(plan, size)
+                stream = AnswerStream(
+                    user=user,
+                    query=query,
+                    plan=plan,
+                    mask=mask,
+                    permits=infer_permits(mask),
+                    chunk_size=size,
+                    arity=len(plan.output),
+                    cache_hit=hit,
+                    degradation_level=derivation.degradation_level,
+                    backend_used=outcome.backend_used,
+                    failover_reason=outcome.failover_reason,
+                )
+                stream._chunks = self._stream_chunks(
+                    stream, outcome.chunks, compiled,
+                    derivation.admissible_views,
+                )
+                return stream
+        except BackendUnavailableError:
+            # See authorize(): typed misconfiguration escapes.
+            raise
+        except Exception as error:  # the fail-closed boundary
+            if not self.config.fail_closed:
+                raise
+            stream = self._denied_stream(
+                user, query, plan, size,
+                f"{type(error).__name__}: {error}",
+            )
+        # Denied or failed before any chunk: the stream is born
+        # finished, so audit immediately (live streams audit when
+        # their generator ends).  No views were consulted for the
+        # empty mask, matching the denied-answer shape.
+        self._audit_stream(stream, ())
+        return stream
+
+    def _stream_chunks(
+        self,
+        stream: AnswerStream,
+        chunks: Iterator[Tuple[Row, ...]],
+        compiled: Optional[CompiledMask],
+        admissible_views: Tuple[str, ...],
+    ) -> Iterator[MaskedChunk]:
+        """Mask and deliver answer chunks; the stream's engine half.
+
+        Runs lazily as the caller iterates.  Everything downstream of
+        establishment lives inside this generator's fail-closed
+        boundary: an evaluation failure mid-answer, a masking failure,
+        or stream-budget exhaustion ends the stream with
+        ``stream.error`` set and the remainder withheld —
+        already-delivered chunks cannot be recalled, and re-execution
+        could duplicate them, so the sound move is to stop.  The
+        ``finally`` clause also catches ``GeneratorExit`` (the
+        consumer abandoned the stream), so the audit trail always gets
+        exactly one record covering what was actually delivered.
+        """
+        budget = Budget.from_config(self.config)
+        drop = self.config.drop_fully_masked_rows
+        columns = stream.plan.output_columns(self.database.schema)
+        total = 0
+        try:
+            for chunk in chunks:
+                total += len(chunk)
+                if budget is not None:
+                    budget.charge_stream(total, "authorize_stream")
+                masked = self._mask_chunk(chunk, compiled, stream.mask,
+                                          columns, drop)
+                stream.account(masked)
+                yield masked
+        except Exception as error:  # the fail-closed boundary
+            if not self.config.fail_closed:
+                stream.finished = True
+                raise
+            stream.error = f"{type(error).__name__}: {error}"
+        finally:
+            if not stream.finished:
+                stream.finished = True
+                self._audit_stream(stream, admissible_views)
+
+    def _mask_chunk(
+        self,
+        chunk: Tuple[Row, ...],
+        compiled: Optional[CompiledMask],
+        mask: Mask,
+        columns: Sequence[Column],
+        drop: bool,
+    ) -> MaskedChunk:
+        """Mask one (already deduplicated) answer chunk.
+
+        The columnar kernel masks the raw row tuple directly; the
+        fallbacks wrap the chunk in a throwaway
+        :class:`~repro.algebra.relation.Relation` because the
+        interpreted ``Mask.apply`` speaks relations (safe: stream
+        chunks are globally deduplicated, so set semantics cannot
+        drop rows).
+        """
+        if compiled is not None and self.config.columnar_masks:
+            return compiled.apply_rows(
+                chunk, drop_fully_masked=drop,
+                use_numpy=self.config.columnar_numpy,
+            )
+        relation = Relation(columns, chunk, validate=False)
+        if compiled is not None:
+            return compiled.apply(relation, drop_fully_masked=drop)
+        return mask.apply(relation, drop_fully_masked=drop)
+
+    def _evaluate_stream(self, plan: PSJQuery,
+                         chunk_size: int) -> StreamOutcome:
+        """Open ``plan``'s chunk stream through the resilient executor.
+
+        Same fault-site discipline as :meth:`_evaluate`: the
+        ``engine.evaluate`` site fires here, outside the executor, and
+        the executor's ladder covers stream establishment (iterator
+        creation plus the first chunk — see
+        :func:`repro.resilience.failover._primed_stream`).
+        """
+        maybe_fault("engine.evaluate")
+        return self.executor.execute_stream(plan, chunk_size=chunk_size)
+
+    def _denied_stream(self, user: str, query: Query, plan: PSJQuery,
+                       chunk_size: int, reason: str) -> AnswerStream:
+        """An empty, already-finished stream: the fail-closed shape."""
+        derivation = empty_derivation(
+            plan, self.database.schema, reason=reason
+        )
+        assert derivation.mask is not None
+        return AnswerStream(
+            user=user,
+            query=query,
+            plan=plan,
+            mask=Mask.from_table(derivation.mask),
+            permits=(),
+            chunk_size=chunk_size,
+            arity=len(plan.output),
+            degradation_level=EMPTY_LEVEL,
+            error=reason,
+        )
+
+    def _audit_stream(self, stream: AnswerStream,
+                      admissible_views: Tuple[str, ...]) -> None:
+        """Append the end-of-stream audit record, if auditing is on."""
+        if self.audit is None:
+            return
+        self.audit.record_stream(
+            user=stream.user,
+            statement=str(stream.query),
+            admissible_views=admissible_views,
+            stats=stream.stats(),
+            permit_statements=tuple(str(p) for p in stream.permits),
+            cache_hit=stream.cache_hit,
+            degradation_level=stream.degradation_level,
+            error=stream.error,
+            backend_used=stream.backend_used,
+            failover_reason=stream.failover_reason,
+        )
+
     def authorize_degraded(
         self, user: str, query: Union[Query, str], floor: int,
         reason: Optional[str] = None,
@@ -540,7 +755,13 @@ class AuthorizationEngine:
         answer = outcome.answer
         mask = Mask.from_table(derivation.mask)
         compiled = self._compiled_for(user, plan, derivation)
-        if compiled is not None:
+        if compiled is not None and self.config.columnar_masks:
+            delivered = apply_mask_columnar(
+                compiled, answer,
+                drop_fully_masked=self.config.drop_fully_masked_rows,
+                use_numpy=self.config.columnar_numpy,
+            )
+        elif compiled is not None:
             delivered = compiled.apply(
                 answer,
                 drop_fully_masked=self.config.drop_fully_masked_rows,

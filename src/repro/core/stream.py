@@ -1,0 +1,180 @@
+"""Chunk-streamed authorized answers: bounded-memory delivery.
+
+:class:`AnswerStream` is the iterator-mode counterpart of
+:class:`~repro.core.answer.AuthorizedAnswer`, produced by
+:meth:`repro.core.engine.AuthorizationEngine.authorize_stream`.  The
+*authorization decision* is identical — same mask derivation, same
+inferred permits, same fail-closed contract — but the answer side is a
+pipeline: evaluation yields deduplicated rows in chunks
+(:func:`repro.algebra.optimize.iter_evaluate_optimized` on the Python
+backend, materialize-and-chunk elsewhere), each chunk is masked by the
+columnar kernel, delivered, and dropped.  A 10^7-row answer therefore
+never exists in memory at once; what is retained is the hash-join
+build sides, the dedupe set, and one chunk.
+
+The stream accounts delivery statistics as it goes, so after
+exhaustion :meth:`AnswerStream.stats` reports exactly what
+``AuthorizedAnswer.stats()`` would have for the same request — over
+the rows *actually delivered*: a stream that failed closed mid-way (or
+was abandoned by its consumer) reports the prefix it delivered, with
+:attr:`AnswerStream.error` carrying the failure.  The audit trail gets
+one record per stream, written when the stream ends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.algebra.expression import PSJQuery
+from repro.algebra.relation import Row
+from repro.calculus.ast import Query
+from repro.core.answer import DeliveryStats
+from repro.core.mask import MASKED, Mask
+from repro.core.statements import InferredPermit
+
+#: One delivered chunk: answer tuples whose hidden cells hold the
+#: ``MASKED`` sentinel (the streaming unit of ``Mask.apply`` output).
+MaskedChunk = Tuple[Tuple, ...]
+
+
+class AnswerStream:
+    """A chunk-streamed authorized answer.
+
+    Iterate to receive masked chunks; each chunk is a tuple of answer
+    rows with withheld cells replaced by the ``MASKED`` sentinel
+    (exactly :meth:`repro.core.mask.Mask.apply` output, cut into
+    ``chunk_size`` pieces — byte-identity is property-tested in
+    ``tests/test_stream.py``).  The authorization metadata — mask,
+    permits, degradation level, backend provenance — is available
+    immediately; delivery statistics accumulate as chunks are
+    consumed and are final once :attr:`finished` is True.
+
+    A denied or failed request yields an empty stream with
+    :attr:`error` set (the fail-closed shape).  A mid-stream failure
+    ends the stream early — already-delivered chunks stand, the
+    remainder is withheld — and sets :attr:`error` likewise.
+    """
+
+    __slots__ = (
+        "user", "query", "plan", "mask", "permits", "chunk_size",
+        "cache_hit", "degradation_level", "backend_used",
+        "failover_reason", "error", "finished", "arity",
+        "total_rows", "delivered_cells", "full_rows", "partial_rows",
+        "masked_rows", "_chunks",
+    )
+
+    def __init__(
+        self,
+        user: str,
+        query: Query,
+        plan: PSJQuery,
+        mask: Mask,
+        permits: Tuple[InferredPermit, ...],
+        chunk_size: int,
+        arity: int,
+        cache_hit: bool = False,
+        degradation_level: int = 0,
+        error: Optional[str] = None,
+        backend_used: Optional[str] = None,
+        failover_reason: Optional[str] = None,
+    ) -> None:
+        self.user = user
+        self.query = query
+        self.plan = plan
+        self.mask = mask
+        self.permits = permits
+        self.chunk_size = chunk_size
+        self.arity = arity
+        self.cache_hit = cache_hit
+        self.degradation_level = degradation_level
+        #: Failure diagnostic: set up-front on a denial, or mid-stream
+        #: when delivery failed closed after some chunks.
+        self.error = error
+        self.backend_used = backend_used
+        self.failover_reason = failover_reason
+        #: True once the stream ended (exhausted, failed, or closed);
+        #: statistics are final from then on.
+        self.finished = error is not None
+        self.total_rows = 0
+        self.delivered_cells = 0
+        self.full_rows = 0
+        self.partial_rows = 0
+        self.masked_rows = 0
+        #: The chunk source, attached by the engine after construction
+        #: (the generator closes over this instance for accounting).
+        self._chunks: Iterator[MaskedChunk] = iter(())
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[MaskedChunk]:
+        return self._chunks
+
+    def chunks(self) -> Iterator[MaskedChunk]:
+        """The masked chunks, in answer order (alias of iteration)."""
+        return self._chunks
+
+    def rows(self) -> Iterator[Tuple]:
+        """The masked rows one by one (flattens the chunks)."""
+        for chunk in self._chunks:
+            for row in chunk:
+                yield row
+
+    def close(self) -> None:
+        """Abandon the stream: the remainder is never evaluated.
+
+        Closing triggers the same end-of-stream bookkeeping as
+        exhaustion — the audit record covers the delivered prefix.
+        """
+        close = getattr(self._chunks, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------
+    # accounting (driven by the engine's chunk generator)
+    # ------------------------------------------------------------------
+
+    def account(self, chunk: MaskedChunk) -> None:
+        """Fold one delivered chunk into the running statistics."""
+        arity = self.arity
+        self.total_rows += len(chunk)
+        for row in chunk:
+            hidden = row.count(MASKED)
+            self.delivered_cells += arity - hidden
+            if hidden == 0:
+                self.full_rows += 1
+            elif hidden == arity and arity > 0:
+                self.masked_rows += 1
+            else:
+                self.partial_rows += 1
+
+    def stats(self) -> DeliveryStats:
+        """Delivery statistics over the chunks consumed *so far*.
+
+        Identical to ``AuthorizedAnswer.stats()`` for the same request
+        once the stream is exhausted.
+        """
+        return DeliveryStats(
+            total_rows=self.total_rows,
+            total_cells=self.total_rows * self.arity,
+            delivered_cells=self.delivered_cells,
+            full_rows=self.full_rows,
+            partial_rows=self.partial_rows,
+            masked_rows=self.masked_rows,
+        )
+
+    @property
+    def failed_over(self) -> bool:
+        """True when evaluation ran on the failover oracle."""
+        return self.failover_reason is not None
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "open"
+        return (
+            f"AnswerStream(user={self.user!r}, {state}, "
+            f"{self.total_rows} rows delivered)"
+        )
+
+
+__all__ = ["AnswerStream", "MaskedChunk"]

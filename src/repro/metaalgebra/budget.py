@@ -43,21 +43,26 @@ class Budget:
             (0 = unlimited).
         deadline_ms: wall-time limit for the derivation
             (0 = no deadline).
+        max_stream_rows: cap on total rows one chunk-streamed answer
+            may deliver (0 = unlimited) — the delivery-side budget,
+            metered per chunk by ``AuthorizationEngine.
+            authorize_stream`` rather than at derivation operators.
         clock: monotonic time source, replaceable for tests.
     """
 
     __slots__ = ("max_rows", "max_selfjoin_pool", "deadline_ms",
-                 "_clock", "_deadline", "_ticks")
+                 "max_stream_rows", "_clock", "_deadline", "_ticks")
 
     #: Deadline polling stride of :meth:`tick` (amortizes clock reads).
     CHECK_EVERY = 32
 
     def __init__(self, max_rows: int = 0, max_selfjoin_pool: int = 0,
-                 deadline_ms: float = 0.0,
+                 deadline_ms: float = 0.0, max_stream_rows: int = 0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.max_rows = max_rows
         self.max_selfjoin_pool = max_selfjoin_pool
         self.deadline_ms = deadline_ms
+        self.max_stream_rows = max_stream_rows
         self._clock = clock
         self._deadline: Optional[float] = (
             clock() + deadline_ms / 1000.0 if deadline_ms > 0 else None
@@ -71,12 +76,14 @@ class Budget:
         """A budget for ``config``, or ``None`` when it sets no limits."""
         if (config.max_mask_rows <= 0
                 and config.max_selfjoin_pool <= 0
-                and config.derivation_deadline_ms <= 0):
+                and config.derivation_deadline_ms <= 0
+                and config.max_stream_rows <= 0):
             return None
         return cls(
             max_rows=config.max_mask_rows,
             max_selfjoin_pool=config.max_selfjoin_pool,
             deadline_ms=config.derivation_deadline_ms,
+            max_stream_rows=config.max_stream_rows,
             clock=clock,
         )
 
@@ -95,6 +102,18 @@ class Budget:
         if self.max_selfjoin_pool and count > self.max_selfjoin_pool:
             raise BudgetExceededError("selfjoin-pool", stage, count,
                                       self.max_selfjoin_pool)
+
+    def charge_stream(self, total_rows: int, stage: str) -> None:
+        """Fail once a streamed delivery exceeds ``max_stream_rows``.
+
+        Called with the *cumulative* row count after each chunk:
+        already-yielded chunks stand (they were within budget), the
+        offending chunk is never delivered, and the engine ends the
+        stream failed-closed.
+        """
+        if self.max_stream_rows and total_rows > self.max_stream_rows:
+            raise BudgetExceededError("stream-rows", stage, total_rows,
+                                      self.max_stream_rows)
 
     def check_deadline(self, stage: str) -> None:
         """Fail if the wall-time deadline has passed."""

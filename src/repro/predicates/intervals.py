@@ -17,7 +17,7 @@ unsound one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Callable, FrozenSet, Optional, Tuple
 
 from repro.algebra.types import Domain, Value
 from repro.errors import TypeMismatchError
@@ -148,6 +148,29 @@ class Interval:
             _within(value, norm.lo, norm.lo_strict, norm.hi, norm.hi_strict)
             and value not in norm.excluded
         )
+
+    def membership(self) -> Callable[[Value], bool]:
+        """A compiled membership test, normalization hoisted.
+
+        :meth:`contains` re-normalizes on every call — fine for the
+        decision procedures, wasteful when a mask kernel tests the
+        same interval against millions of column values.  The returned
+        closure is extensionally equal to ``contains`` but pays
+        normalization exactly once (``tests/property/
+        test_columnar_relation.py`` pins the equality).
+        """
+        norm = self.normalized()
+        lo, lo_strict = norm.lo, norm.lo_strict
+        hi, hi_strict = norm.hi, norm.hi_strict
+        excluded = norm.excluded
+
+        def member(value: Value) -> bool:
+            return (
+                _within(value, lo, lo_strict, hi, hi_strict)
+                and value not in excluded
+            )
+
+        return member
 
     @property
     def is_point(self) -> bool:

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Tuple
+from itertools import chain
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Tuple
 
+from repro.algebra.columnar import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.errors import BackendError, BackendUnavailableError, \
     FaultInjected
 from repro.resilience.breaker import BreakerPolicy, CircuitBreaker, \
@@ -45,7 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     # imports this package; runtime code only needs the protocol's
     # duck type, never the classes themselves.
     from repro.algebra.expression import PSJQuery
-    from repro.algebra.relation import Relation
+    from repro.algebra.relation import Relation, Row
     from repro.backends.base import DeliveredRows, ExecutionBackend
     from repro.core.compiled_mask import CompiledMask
     from repro.core.mask import Mask
@@ -74,6 +76,26 @@ class MaskedOutcome:
     """The ``execute_masked`` analogue of :class:`ExecutionOutcome`."""
 
     delivered: DeliveredRows
+    backend_used: str
+    failover_reason: Optional[str]
+    attempts: int
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """The ``execute_stream`` analogue of :class:`ExecutionOutcome`.
+
+    ``chunks`` is already *primed*: the executor opened the stream and
+    prefetched its first chunk inside the retry/breaker/failover loop,
+    so establishment failures were absorbed there.  Failures after the
+    first chunk raise out of the iterator itself — re-running the plan
+    mid-delivery could duplicate or reorder already-yielded rows, so
+    they belong to the consumer's fail-closed boundary
+    (``AuthorizationEngine.authorize_stream`` ends the stream with the
+    remainder withheld).
+    """
+
+    chunks: Iterator[Tuple[Row, ...]]
     backend_used: str
     failover_reason: Optional[str]
     attempts: int
@@ -142,6 +164,25 @@ class ResilientExecutor:
             )
         )
         return MaskedOutcome(delivered, used, reason, attempts)
+
+    def execute_stream(
+        self,
+        plan: PSJQuery,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> StreamOutcome:
+        """Open a chunked answer stream, failing over if needed.
+
+        The whole retry/breaker/failover ladder applies to stream
+        *establishment* — opening the backend's iterator and fetching
+        the first chunk (see :func:`_primed_stream`).  Backends
+        without a native ``execute_stream`` are materialized and
+        chunked, so SQL backends and the oracle fallback both work;
+        only the memory bound weakens, never the answer.
+        """
+        chunks, used, reason, attempts = self._run(
+            lambda backend: _primed_stream(backend, plan, chunk_size)
+        )
+        return StreamOutcome(chunks, used, reason, attempts)
 
     # ------------------------------------------------------------------
     # the retry / breaker / failover loop
@@ -256,3 +297,32 @@ class ResilientExecutor:
         # engine's fail-closed boundary and the request is denied.
         maybe_fault("failover.execute")
         return call(self.oracle)
+
+
+def _primed_stream(
+    backend: ExecutionBackend, plan: PSJQuery, chunk_size: int,
+) -> Iterator[Tuple[Row, ...]]:
+    """Open ``backend``'s chunk stream and prefetch the first chunk.
+
+    Streaming is an optional backend capability (see
+    :mod:`repro.backends.base`): a backend without ``execute_stream``
+    materializes its answer and is chunked here, so every backend
+    participates in streamed deliveries.  The first-chunk prefetch
+    pulls establishment failures — plan validation, the build sides of
+    the first hash join, an embedded-engine error — into the caller's
+    retry window; once a chunk exists the stream counts as
+    established, and later failures raise out of the returned iterator
+    to the consumer.
+    """
+    native = getattr(backend, "execute_stream", None)
+    if native is None:
+        chunks: Iterator[Tuple[Row, ...]] = iter_chunks(
+            backend.execute(plan).rows, chunk_size,
+        )
+    else:
+        chunks = iter(native(plan, chunk_size=chunk_size))
+    try:
+        first = next(chunks)
+    except StopIteration:
+        return iter(())
+    return chain((first,), chunks)

@@ -284,10 +284,22 @@ def test_sl004_ignores_other_modules_and_sorted_sets(
 # SL005 — oracle parity for fast paths
 # ----------------------------------------------------------------------
 
+# The fixture tree mirrors every FAST_PATHS entry registered for
+# repro.core.compiled_mask (the rule checks the *real* registry
+# against whatever tree it scans, so a fixture containing that module
+# must define all of its registered fast paths).
 ORACLE_TREE = {
     "src/repro/core/compiled_mask.py": """
         def compile_mask(mask: object) -> object:
             return mask
+
+        def apply_mask_columnar(compiled: object,
+                                answer: object) -> object:
+            return answer
+
+        def iter_apply_chunked(compiled: object,
+                               rows: object) -> object:
+            return rows
     """,
     "src/repro/core/mask.py": """
         class Mask:
@@ -296,6 +308,12 @@ ORACLE_TREE = {
     """,
     "tests/property/test_compiled_mask.py": """
         # differential: compile_mask vs Mask.apply
+    """,
+    "tests/property/test_columnar_relation.py": """
+        # differential: apply_mask_columnar vs Mask.apply
+    """,
+    "tests/property/test_chunked_apply.py": """
+        # differential: iter_apply_chunked vs Mask.apply
     """,
 }
 
@@ -319,8 +337,10 @@ def test_sl005_flags_vanished_oracle(tmp_path: Path) -> None:
     files["src/repro/core/mask.py"] = "class Mask:\n    pass\n"
     root = make_tree(tmp_path, files)
     report = lint(root, "src", select=["SL005"])
-    assert rules_hit(report) == ["SL005"]
-    assert "oracle" in report.violations[0].message
+    # All three registered fast paths in the module share the
+    # Mask.apply oracle, so all three report it vanished.
+    assert rules_hit(report) == ["SL005"] * 3
+    assert all("oracle" in v.message for v in report.violations)
 
 
 def test_sl005_discovers_unregistered_fast_path(tmp_path: Path) -> None:

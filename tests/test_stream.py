@@ -1,0 +1,234 @@
+"""Unit tests for chunk-streamed authorized answers.
+
+``AuthorizationEngine.authorize_stream`` is :meth:`authorize`'s
+iterator mode: the concatenated chunks must be byte-identical to the
+materialized ``delivered`` tuple, the statistics and audit record must
+match, and every failure mode — establishment faults, mid-stream
+faults, stream-budget exhaustion, consumer abandonment — must fail the
+*remainder* closed while keeping what was already delivered on the
+books.  The kernel-level identities backing these tests live in
+``tests/property/test_columnar_relation.py`` and
+``tests/property/test_chunked_apply.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.audit import AuditLog
+from repro.core.engine import AuthorizationEngine
+from repro.errors import BackendError, ParseError
+from repro.resilience.failover import StreamOutcome
+from repro.testing import faults
+from repro.workloads.paperdb import (
+    EXAMPLE_1_QUERY,
+    EXAMPLE_2_QUERY,
+    EXAMPLE_3_QUERY,
+    build_paper_engine,
+)
+
+EXAMPLES = (EXAMPLE_1_QUERY, EXAMPLE_2_QUERY, EXAMPLE_3_QUERY)
+
+
+def drain(stream):
+    return tuple(row for chunk in stream for row in chunk)
+
+
+class TestParityWithAuthorize:
+    @pytest.mark.parametrize("chunk_size", [None, 1, 2, 10_000])
+    def test_delivered_rows_identical(self, paper_engine, chunk_size):
+        for user in ("Brown", "Smith", "stranger"):
+            for query in EXAMPLES:
+                answer = paper_engine.authorize(user, query)
+                stream = paper_engine.authorize_stream(
+                    user, query, chunk_size=chunk_size
+                )
+                assert drain(stream) == answer.delivered
+                assert stream.finished
+                assert stream.stats() == answer.stats()
+                assert stream.error == answer.error
+                assert [str(p) for p in stream.permits] \
+                    == [str(p) for p in answer.permits]
+
+    def test_parity_with_drop_fully_masked(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(drop_fully_masked_rows=True)
+        )
+        answer = engine.authorize("Brown", EXAMPLE_1_QUERY)
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY,
+                                         chunk_size=1)
+        assert drain(stream) == answer.delivered == (("bq-45", "Acme"),)
+
+    def test_parity_without_compiled_masks(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(compiled_masks=False)
+        )
+        reference = build_paper_engine().authorize(
+            "Brown", EXAMPLE_1_QUERY
+        )
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert drain(stream) == reference.delivered
+
+    def test_chunk_size_defaults_to_config(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(stream_chunk_size=7)
+        )
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert stream.chunk_size == 7
+
+    def test_rejects_non_retrieve(self, paper_engine):
+        with pytest.raises(ParseError):
+            paper_engine.authorize_stream("Brown", "permit SAE to Brown")
+
+    def test_metadata_available_before_consumption(self, paper_engine):
+        stream = paper_engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert stream.backend_used == "python"
+        assert not stream.finished
+        assert stream.total_rows == 0
+
+
+class TestStreamBudget:
+    def test_max_stream_rows_truncates(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(max_stream_rows=1)
+        )
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY,
+                                         chunk_size=1)
+        chunks = list(stream)
+        # The first chunk was within budget and stands; the second was
+        # never delivered and the stream failed the remainder closed.
+        assert len(chunks) == 1
+        assert stream.finished
+        assert stream.error is not None
+        assert "stream-rows" in stream.error
+
+    def test_budget_off_by_default(self, paper_engine):
+        stream = paper_engine.authorize_stream("Brown", EXAMPLE_1_QUERY,
+                                               chunk_size=1)
+        assert len(list(stream)) == 2
+        assert stream.error is None
+
+
+class TestFailClosed:
+    def test_establishment_fault_denies_whole_stream(self):
+        engine = build_paper_engine()
+        with faults.inject({"engine.evaluate": faults.Fault("raise")}):
+            stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert stream.finished
+        assert stream.error is not None
+        assert drain(stream) == ()
+
+    def test_establishment_fault_raises_in_dev_mode(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(fail_closed=False,
+                               backend_retry_attempts=1)
+        )
+        with faults.inject({"backend.execute": faults.Fault("raise")}):
+            with pytest.raises(Exception):
+                engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+
+    def test_midstream_fault_withholds_remainder(self, paper_engine):
+        stream = paper_engine.authorize_stream("Brown", EXAMPLE_1_QUERY,
+                                               chunk_size=1)
+
+        def broken():
+            yield (("bq-45", "Acme"),)
+            raise BackendError("mid-stream loss")
+
+        # Re-point the stream at an evaluation that dies after one
+        # chunk: the engine's generator must deliver the first chunk,
+        # then end the stream failed-closed instead of propagating.
+        stream._chunks = paper_engine._stream_chunks(
+            stream, broken(), None, ()
+        )
+        chunks = list(stream)
+        assert len(chunks) == 1
+        assert stream.finished
+        assert stream.error is not None
+        assert "mid-stream loss" in stream.error
+
+    def test_denied_stream_for_empty_mask_user(self, paper_engine):
+        answer = paper_engine.authorize("stranger", EXAMPLE_1_QUERY)
+        stream = paper_engine.authorize_stream("stranger",
+                                               EXAMPLE_1_QUERY)
+        assert drain(stream) == answer.delivered
+        assert stream.stats().delivered_cells == 0
+
+
+class TestFailover:
+    def test_stream_establishment_fails_over(self):
+        engine = build_paper_engine(
+            DEFAULT_CONFIG.but(backend="sqlite",
+                               backend_retry_attempts=1)
+        )
+        reference = build_paper_engine().authorize(
+            "Brown", EXAMPLE_1_QUERY
+        )
+        with faults.inject({"backend.execute": faults.Fault("raise")}):
+            stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+            rows = drain(stream)
+        assert stream.failed_over
+        assert stream.backend_used == "python"
+        # SQL backends stream in backend row order; compare as sets.
+        assert set(rows) == set(reference.delivered)
+
+    def test_sqlite_backend_streams_via_materialize(self):
+        engine = build_paper_engine(DEFAULT_CONFIG.but(backend="sqlite"))
+        reference = build_paper_engine().authorize(
+            "Brown", EXAMPLE_1_QUERY
+        )
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        rows = drain(stream)
+        assert stream.backend_used == "sqlite"
+        assert not stream.failed_over
+        assert set(rows) == set(reference.delivered)
+
+    def test_outcome_carries_primed_chunks(self):
+        engine = build_paper_engine()
+        plan = engine._compile(
+            engine._parse_query(EXAMPLE_1_QUERY, "test")
+        )
+        outcome = engine.executor.execute_stream(plan, chunk_size=1)
+        assert isinstance(outcome, StreamOutcome)
+        assert outcome.backend_used == "python"
+        assert sum(len(c) for c in outcome.chunks) == 2
+
+
+class TestStreamAudit:
+    def test_one_record_per_stream(self):
+        audit = AuditLog()
+        engine = build_paper_engine()
+        engine.audit = audit
+        answer_stats = engine.authorize("Brown", EXAMPLE_1_QUERY).stats()
+        assert len(audit) == 1  # the authorize() above
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert len(audit) == 1  # nothing recorded until the stream ends
+        drain(stream)
+        assert len(audit) == 2
+        record = audit.records()[-1]
+        assert record.stats == answer_stats
+        assert record.user == "Brown"
+        assert record.backend_used == "python"
+
+    def test_abandoned_stream_records_prefix(self):
+        audit = AuditLog()
+        engine = build_paper_engine()
+        engine.audit = audit
+        stream = engine.authorize_stream("Brown", EXAMPLE_1_QUERY,
+                                         chunk_size=1)
+        next(iter(stream))
+        stream.close()
+        assert stream.finished
+        assert len(audit) == 1
+        assert audit.records()[-1].stats.total_rows == 1
+
+    def test_denied_stream_recorded_immediately(self):
+        audit = AuditLog()
+        engine = build_paper_engine()
+        engine.audit = audit
+        with faults.inject({"engine.evaluate": faults.Fault("raise")}):
+            engine.authorize_stream("Brown", EXAMPLE_1_QUERY)
+        assert len(audit) == 1
+        assert audit.records()[-1].outcome == "denied"
+        assert audit.records()[-1].error is not None
