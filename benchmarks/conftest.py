@@ -20,14 +20,18 @@ in every mode.
 
 The benchmark tree is also inside the static-analysis perimeter
 (``docs/STATIC_ANALYSIS.md``): CI's ``static-analysis`` job runs
-``ruff check`` over ``benchmarks/``, and the fast-path pairs measured
-here (``compile_mask`` vs ``Mask.apply``, ``meta_product_streaming``
-vs ``meta_product``) are exactly the oracle registrations soundlint's
-SL005 rule keeps honest — delete a differential test and the lint
-gate, not just this harness, fails.  Fixtures here stay annotation-
-light because ``benchmarks/`` is outside ``src/repro`` and therefore
-outside the SL007/mypy strict scope; anything promoted into the
-package must arrive fully annotated.
+``ruff check`` over ``benchmarks/`` and soundlint's SL006
+authorize-bypass rule over ``tests/`` and ``benchmarks/`` — a
+harness that reads relations around the mask carries a justified
+``# soundlint: disable-file=SL006 -- ...`` suppression or fails the
+gate.  The fast-path pairs measured here (``compile_mask`` vs
+``Mask.apply``, ``meta_product_streaming`` vs ``meta_product``) are
+exactly the oracle registrations soundlint's SL005 rule keeps honest
+— delete a differential test and the lint gate, not just this
+harness, fails.  Fixtures here stay annotation-light because
+``benchmarks/`` is outside ``src/repro`` and therefore outside the
+SL007/mypy strict scope; anything promoted into the package must
+arrive fully annotated.
 """
 
 from __future__ import annotations

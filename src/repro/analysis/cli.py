@@ -39,8 +39,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src examples)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"),
+        default="human",
         help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="print the whole-program call graph and lock-order "
+             "graph instead of running the rules",
     )
     parser.add_argument(
         "--select", metavar="RULES", default=None,
@@ -78,6 +84,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "no such path: " + ", ".join(str(p) for p in missing)
         )
 
+    if options.graph:
+        print(render_context_graph(paths))
+        return 0
+
     report = run_paths(
         paths,
         select=_split_rules(options.select),
@@ -85,9 +95,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if options.format == "json":
         print(report.render_json())
+    elif options.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_human())
     return 0 if report.clean else 1
+
+
+def render_context_graph(paths: Sequence[Path]) -> str:
+    """Parse ``paths`` and dump the flow layer's debug graph."""
+    from repro.analysis.flow import render_graph
+    from repro.analysis.framework import (
+        Context,
+        SourceFile,
+        collect_files,
+        find_root,
+        load_source,
+    )
+
+    root = find_root(list(paths))
+    sources: List[SourceFile] = []
+    for path in collect_files(paths):
+        source, _failure = load_source(path, root)
+        if source is not None:
+            sources.append(source)
+    return render_graph(Context(root=root, sources=sources))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via -m

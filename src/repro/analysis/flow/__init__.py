@@ -1,0 +1,73 @@
+"""Whole-program (interprocedural) soundlint passes.
+
+The :mod:`callgraph` builder and :mod:`dataflow` engine are shared
+between the SL010 taint rule (:mod:`taint`) and the SL011 lockset rule
+(:mod:`locks`) through the analysis cache on
+:class:`~repro.analysis.framework.Context`, so a run parses and
+resolves the tree exactly once however many whole-program rules are
+selected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    build_graph,
+)
+from repro.analysis.flow.dataflow import SOURCE, Summary, TaintAnalysis
+from repro.analysis.flow.locks import lock_edges
+from repro.analysis.flow.taint import taint_for
+from repro.analysis.framework import Context
+
+
+def render_graph(context: Context) -> str:
+    """Human-readable dump of the call graph and lock-order graph,
+    behind the CLI's ``--graph`` flag."""
+    analysis = taint_for(context)
+    graph = analysis.graph
+    edges = list(graph.edges())
+    lines: List[str] = [
+        "call graph:",
+        f"  functions: {len(graph.functions)}",
+        f"  classes:   {len(graph.classes)}",
+        f"  resolved call edges: {len(edges)}",
+        f"  unresolved calls:    {len(graph.unresolved)}",
+    ]
+    for miss in graph.unresolved[:20]:
+        lines.append(
+            f"    {miss.path}:{miss.line}: {miss.text} ({miss.reason})"
+        )
+    if len(graph.unresolved) > 20:
+        lines.append(
+            f"    ... {len(graph.unresolved) - 20} more"
+        )
+    declared, observed = lock_edges(context)
+    lines.append("lock-order graph:")
+    lines.append("  declared:")
+    for outer, inner in declared:
+        lines.append(f"    {outer} -> {inner}")
+    lines.append("  observed:")
+    if observed:
+        for outer, inner in sorted(set(observed)):
+            lines.append(f"    {outer} -> {inner}")
+    else:
+        lines.append("    (none)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SOURCE",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "Summary",
+    "TaintAnalysis",
+    "build_graph",
+    "lock_edges",
+    "render_graph",
+    "taint_for",
+]

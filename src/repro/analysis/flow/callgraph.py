@@ -1,0 +1,583 @@
+"""A closed-world call graph over the parsed ``repro`` sources.
+
+The whole-program passes (SL010, SL011) need to know, for a call
+expression in one module, which function definition in *another*
+module it lands on.  This builder resolves that statically, at the
+module level, using only what the AST declares:
+
+* imports (including aliased imports and re-exports through package
+  ``__init__`` modules, chased transitively);
+* method calls through *annotated* receiver types — parameter
+  annotations, ``self``-attribute types recorded from ``__init__``
+  constructor calls and dataclass field annotations, and function
+  return annotations;
+* a unique-name fallback for methods defined by exactly one class in
+  the closed world.
+
+Anything dynamic — lambdas, callables passed as parameters, getattr —
+is recorded as an *unresolved* call (visible in ``--graph``) and
+soundly dropped by the dataflow layer, never guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.framework import Context, FunctionNode, SourceFile
+
+#: Names that resolve to python builtins rather than project code.
+_BUILTIN_NAMES: Set[str] = set(dir(builtins))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the closed world."""
+
+    qualname: str            # ``module:Class.method`` / ``module:func``
+    module: str
+    name: str
+    cls: Optional[str]       # simple name of the owning class, if any
+    node: FunctionNode
+    source: SourceFile
+    params: Tuple[str, ...]  # positional + kw-only names, in order
+    returns_text: str        # unparsed return annotation ("" if none)
+    is_method: bool
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its statically known attribute types."""
+
+    qualname: str            # ``module:Class``
+    module: str
+    name: str
+    node: ast.ClassDef
+    source: SourceFile
+    bases: Tuple[str, ...]   # unparsed base expressions
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` ⇒ unparsed type text (annotation or constructor).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: Ordered class-level annotated fields (dataclass argument order).
+    field_order: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call the closed-world resolver declined to guess at."""
+
+    path: str
+    line: int
+    text: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one call expression."""
+
+    kind: str  # "function" | "class" | "builtin" | "unresolved"
+    function: Optional[FunctionInfo] = None
+    cls: Optional[ClassInfo] = None
+    #: Receiver expression when the call is a bound method call
+    #: (``obj.m(...)``) — the implicit ``self`` argument.
+    receiver: Optional[ast.expr] = None
+    builtin: str = ""
+    reason: str = ""
+
+
+def _param_names(node: FunctionNode) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return tuple(names)
+
+
+def _unparse(node: Optional[ast.expr]) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except ValueError:
+        return ""
+
+
+#: Type-wrapper heads whose argument still *is* the annotated value.
+_WRAPPER_HEADS = frozenset({"Optional", "Union", "Final", "Annotated",
+                            "ClassVar"})
+
+#: Container heads: an annotation ``List[Mask]`` types the *container*,
+#: not a ``Mask`` — collapsing it to the element class would resolve
+#: methods against the wrong receiver.
+_CONTAINER_HEADS = frozenset({
+    "List", "Dict", "Tuple", "Set", "FrozenSet", "Sequence",
+    "Iterable", "Iterator", "Generator", "AsyncIterator", "Mapping",
+    "MutableMapping", "Callable", "Type", "Deque", "DefaultDict",
+    "list", "dict", "tuple", "set", "frozenset", "type",
+})
+
+
+def _annotation_names(ann: Optional[ast.expr]) -> List[str]:
+    """Candidate class names an annotation types a value as.
+
+    Wrappers (``Optional[Mask]``) are looked through; containers
+    (``List[Mask]``) yield nothing — the value is the container, not
+    its elements.  String annotations are parsed; unparsable ones
+    yield nothing."""
+    if ann is None:
+        return []
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return []
+    if isinstance(ann, ast.Name):
+        if ann.id in _WRAPPER_HEADS or ann.id in _CONTAINER_HEADS:
+            return []
+        return [ann.id]
+    if isinstance(ann, ast.Attribute):
+        if ann.attr in _WRAPPER_HEADS or ann.attr in _CONTAINER_HEADS:
+            return []
+        return [ann.attr]
+    if isinstance(ann, ast.Subscript):
+        head = _head_name(ann.value)
+        if head in _WRAPPER_HEADS:
+            slices = (ann.slice.elts
+                      if isinstance(ann.slice, ast.Tuple)
+                      else [ann.slice])
+            names: List[str] = []
+            for element in slices:
+                names.extend(_annotation_names(element))
+            return names
+        if head in _CONTAINER_HEADS or head is None:
+            return []
+        return [head]
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return (_annotation_names(ann.left)
+                + _annotation_names(ann.right))
+    return []
+
+
+def _head_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class CallGraph:
+    """Function/class indexes plus the resolution machinery."""
+
+    def __init__(self, context: Context,
+                 prefixes: Tuple[str, ...] = ("repro.",),
+                 skip_prefixes: Tuple[str, ...] = ("repro.analysis",),
+                 ) -> None:
+        self.context = context
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: Per-module local name ⇒ dotted target (imports + local defs).
+        self.module_scope: Dict[str, Dict[str, str]] = {}
+        self.modules: Set[str] = set()
+        self.unresolved: List[UnresolvedCall] = []
+        self._miss_seen: Set[Tuple[str, int, str]] = set()
+        self._sources: List[SourceFile] = [
+            s for s in context.sources
+            if s.module.startswith(prefixes)
+            and not s.module.startswith(skip_prefixes)
+        ]
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        for source in self._sources:
+            self.modules.add(source.module)
+            self._index_module(source)
+        for info in self.classes.values():
+            self._collect_attr_types(info)
+
+    def _index_module(self, source: SourceFile) -> None:
+        module = source.module
+        scope = self.module_scope.setdefault(module, {})
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    scope.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_import(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    scope.setdefault(local, f"{base}.{alias.name}")
+        for name, fnode in source.functions():
+            parts = name.split(".")
+            cls = parts[-2] if len(parts) >= 2 else None
+            info = FunctionInfo(
+                qualname=f"{module}:{name}",
+                module=module,
+                name=parts[-1],
+                cls=cls,
+                node=fnode,
+                source=source,
+                params=_param_names(fnode),
+                returns_text=_unparse(fnode.returns),
+                is_method=cls is not None,
+            )
+            self.functions[info.qualname] = info
+            if len(parts) == 1:
+                scope.setdefault(name, f"{module}.{name}")
+        for stmt in source.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(source, stmt, scope)
+
+    def _index_class(self, source: SourceFile, node: ast.ClassDef,
+                     scope: Dict[str, str]) -> None:
+        module = source.module
+        info = ClassInfo(
+            qualname=f"{module}:{node.name}",
+            module=module,
+            name=node.name,
+            node=node,
+            source=source,
+            bases=tuple(_unparse(b) for b in node.bases),
+        )
+        fields: List[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{module}:{node.name}.{stmt.name}"
+                fn = self.functions.get(qual)
+                if fn is not None:
+                    info.methods[stmt.name] = fn
+                    self.methods_by_name.setdefault(
+                        stmt.name, []).append(fn)
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                fields.append(stmt.target.id)
+                names = _annotation_names(stmt.annotation)
+                if names:
+                    info.attr_types.setdefault(stmt.target.id, names[0])
+        info.field_order = tuple(fields)
+        self.classes[info.qualname] = info
+        self.classes_by_name.setdefault(node.name, []).append(info)
+        scope.setdefault(node.name, f"{module}.{node.name}")
+
+    def _absolute_import(self, module: str,
+                         node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        # ``module`` is the importing module; relative level 1 means
+        # "this package", which for a non-package module is its parent.
+        source = self.context.by_module(module)
+        is_package = bool(
+            source is not None and source.path.name == "__init__.py"
+        )
+        drop = node.level - (1 if is_package else 0)
+        if drop > 0:
+            parts = parts[:-drop] if drop < len(parts) else []
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base or None
+
+    def _collect_attr_types(self, info: ClassInfo) -> None:
+        init = info.methods.get("__init__")
+        if init is None:
+            return
+        for stmt in ast.walk(init.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            ann: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, ann = stmt.target, stmt.value, \
+                    stmt.annotation
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            attr = target.attr
+            if ann is not None:
+                names = _annotation_names(ann)
+                if names:
+                    info.attr_types.setdefault(attr, names[0])
+                    continue
+            if isinstance(value, ast.Call):
+                resolved = self._resolve_scope_callable(
+                    value.func, info.module)
+                if isinstance(resolved, ClassInfo):
+                    info.attr_types.setdefault(attr, resolved.name)
+                elif isinstance(resolved, FunctionInfo):
+                    names = _annotation_names(resolved.node.returns)
+                    if names:
+                        info.attr_types.setdefault(attr, names[0])
+
+    def _resolve_scope_callable(
+            self, func: ast.expr, module: str,
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """Resolve a call target using only module-level scope."""
+        if isinstance(func, ast.Name):
+            target = self.module_scope.get(module, {}).get(func.id)
+            if target is not None:
+                return self.resolve_dotted(target)
+        elif isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            target = self.module_scope.get(module, {}).get(func.value.id)
+            if target is not None:
+                return self.resolve_dotted(f"{target}.{func.attr}")
+        return None
+
+    # -- lookups -------------------------------------------------------
+
+    def resolve_dotted(
+            self, dotted: str, _seen: Optional[Set[str]] = None,
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """Resolve ``repro.core.Mask``-style dotted names, chasing
+        re-exports through package ``__init__`` import tables."""
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module not in self.modules:
+                continue
+            return self._lookup(module, parts[cut:], seen)
+        return None
+
+    def _lookup(self, module: str, rest: Sequence[str],
+                seen: Set[str]) -> Optional[Union[FunctionInfo,
+                                                  ClassInfo]]:
+        if not rest:
+            return None
+        head = rest[0]
+        found: Optional[Union[FunctionInfo, ClassInfo]]
+        found = self.functions.get(f"{module}:{head}")
+        if found is None:
+            found = self.classes.get(f"{module}:{head}")
+        if found is None:
+            target = self.module_scope.get(module, {}).get(head)
+            if target is not None:
+                found = self.resolve_dotted(target, seen)
+        if found is None or len(rest) == 1:
+            return found
+        if isinstance(found, ClassInfo) and len(rest) == 2:
+            return self.lookup_method(found, rest[1])
+        return None
+
+    def lookup_method(self, cls: ClassInfo,
+                      name: str,
+                      _seen: Optional[Set[str]] = None,
+                      ) -> Optional[FunctionInfo]:
+        """Find ``name`` on ``cls`` or, transitively, its bases."""
+        seen = _seen if _seen is not None else set()
+        if cls.qualname in seen:
+            return None
+        seen.add(cls.qualname)
+        method = cls.methods.get(name)
+        if method is not None:
+            return method
+        for base_text in cls.bases:
+            base = self.class_for_name(cls.module, base_text)
+            if base is not None:
+                method = self.lookup_method(base, name, seen)
+                if method is not None:
+                    return method
+        return None
+
+    def class_for_name(self, module: str,
+                       name: str) -> Optional[ClassInfo]:
+        """A class by simple or dotted name as seen from ``module``."""
+        simple = name.split(".")[-1].split("[")[0]
+        target = self.module_scope.get(module, {}).get(simple)
+        if target is not None:
+            resolved = self.resolve_dotted(target)
+            if isinstance(resolved, ClassInfo):
+                return resolved
+        local = self.classes.get(f"{module}:{simple}")
+        if local is not None:
+            return local
+        candidates = self.classes_by_name.get(simple, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- local type inference ------------------------------------------
+
+    def local_types(self, fn: FunctionInfo) -> Dict[str, ClassInfo]:
+        """Statically known receiver types for names local to ``fn``."""
+        env: Dict[str, ClassInfo] = {}
+        if fn.is_method and fn.cls is not None:
+            owner = self.classes.get(f"{fn.module}:{fn.cls}")
+            if owner is not None and fn.params:
+                env[fn.params[0]] = owner
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is None or arg.arg in env:
+                continue
+            inferred = self._class_from_annotation(
+                fn.module, arg.annotation)
+            if inferred is not None:
+                env[arg.arg] = inferred
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                inferred = self._class_from_annotation(
+                    fn.module, stmt.annotation)
+                if inferred is not None:
+                    env.setdefault(stmt.target.id, inferred)
+            elif isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                inferred = self.expr_class(stmt.value, env, fn.module)
+                if inferred is not None:
+                    env.setdefault(stmt.targets[0].id, inferred)
+        return env
+
+    def _class_from_annotation(self, module: str,
+                               ann: ast.expr) -> Optional[ClassInfo]:
+        for name in _annotation_names(ann):
+            found = self.class_for_name(module, name)
+            if found is not None:
+                return found
+        return None
+
+    def expr_class(self, expr: ast.expr, env: Dict[str, ClassInfo],
+                   module: str) -> Optional[ClassInfo]:
+        """The class an expression statically evaluates to, if known."""
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            return self.class_for_name(module, expr.id)
+        if isinstance(expr, ast.Attribute):
+            owner = self.expr_class(expr.value, env, module)
+            if owner is None:
+                return None
+            type_text = owner.attr_types.get(expr.attr)
+            if type_text is None:
+                return None
+            return self.class_for_name(owner.module, type_text)
+        if isinstance(expr, ast.Call):
+            resolution = self.resolve_call(expr, env, module,
+                                           record=False)
+            if resolution.kind == "class" and resolution.cls is not None:
+                return resolution.cls
+            if resolution.kind == "function" and \
+                    resolution.function is not None:
+                returns = resolution.function.node.returns
+                if returns is not None:
+                    return self._class_from_annotation(
+                        resolution.function.module, returns)
+        return None
+
+    # -- call resolution -----------------------------------------------
+
+    def resolve_call(self, call: ast.Call, env: Dict[str, ClassInfo],
+                     module: str, record: bool = True) -> Resolution:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self.module_scope.get(module, {}).get(func.id)
+            if target is not None:
+                found = self.resolve_dotted(target)
+                if isinstance(found, FunctionInfo):
+                    return Resolution("function", function=found)
+                if isinstance(found, ClassInfo):
+                    return Resolution("class", cls=found)
+            if func.id in _BUILTIN_NAMES:
+                return Resolution("builtin", builtin=func.id)
+            return self._miss(call, module, "unknown name", record)
+        if isinstance(func, ast.Attribute):
+            owner = self.expr_class(func.value, env, module)
+            if owner is not None:
+                method = self.lookup_method(owner, func.attr)
+                if method is not None:
+                    return Resolution("function", function=method,
+                                      receiver=func.value)
+                return self._miss(
+                    call, module,
+                    f"no method {func.attr} on {owner.name}", record)
+            # Module-attribute call: ``optimize.evaluate_optimized``.
+            if isinstance(func.value, ast.Name):
+                target = self.module_scope.get(module, {}).get(
+                    func.value.id)
+                if target is not None:
+                    found = self.resolve_dotted(
+                        f"{target}.{func.attr}")
+                    if isinstance(found, FunctionInfo):
+                        return Resolution("function", function=found)
+                    if isinstance(found, ClassInfo):
+                        return Resolution("class", cls=found)
+            candidates = self.methods_by_name.get(func.attr, [])
+            if len(candidates) == 1 and \
+                    not func.attr.startswith("__"):
+                return Resolution("function", function=candidates[0],
+                                  receiver=func.value)
+            return self._miss(call, module,
+                              "receiver type unknown", record)
+        if isinstance(func, ast.Lambda):
+            return self._miss(call, module, "lambda callable", record)
+        return self._miss(call, module, "dynamic callable", record)
+
+    def _miss(self, call: ast.Call, module: str, reason: str,
+              record: bool) -> Resolution:
+        if record:
+            source = self.context.by_module(module)
+            path = source.relative if source is not None else module
+            line = getattr(call, "lineno", 1)
+            key = (path, line, reason)
+            if key not in self._miss_seen:
+                self._miss_seen.add(key)
+                self.unresolved.append(UnresolvedCall(
+                    path=path,
+                    line=line,
+                    text=_unparse(call.func)[:60],
+                    reason=reason,
+                ))
+        return Resolution("unresolved", reason=reason)
+
+    # -- edge enumeration (for ``--graph`` and tests) ------------------
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        """Every resolved caller→callee pair, deduplicated."""
+        seen: Set[Tuple[str, str]] = set()
+        for fn in self.functions.values():
+            env = self.local_types(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                res = self.resolve_call(node, env, fn.module,
+                                        record=False)
+                callee: Optional[str] = None
+                if res.kind == "function" and res.function is not None:
+                    callee = res.function.qualname
+                elif res.kind == "class" and res.cls is not None:
+                    callee = res.cls.qualname
+                if callee is not None:
+                    pair = (fn.qualname, callee)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
+
+
+def build_graph(context: Context) -> CallGraph:
+    """Build (or fetch the cached) call graph for ``context``."""
+    cached = context.cache.get("flow.graph")
+    if isinstance(cached, CallGraph):
+        return cached
+    graph = CallGraph(context)
+    context.cache["flow.graph"] = graph
+    return graph

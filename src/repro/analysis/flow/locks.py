@@ -1,0 +1,353 @@
+"""SL011 — lockset race detection for the serving/resilience layer.
+
+Three checks over the classes in ``registry.GUARDED_FIELDS``:
+
+* **Guarded fields**: each registered class's listed attributes may
+  only be read or written inside ``with self.<lock>:`` or from a
+  *held method* (one documented as "caller holds the lock" — listed
+  in the registry or named ``*_locked``).  ``__init__`` is exempt:
+  construction is single-threaded.
+* **Lock discovery**: a :mod:`threading` lock created in ``__init__``
+  of a class in the patrolled modules with no registry entry is
+  itself a violation, so the registry cannot rot silently.
+* **Lock order**: while a registered lock is held, a call into
+  another registered class's lock-acquiring method is an
+  acquisition-order edge.  Every observed edge must be declared in
+  ``registry.LOCK_ORDER`` and the declared ∪ observed graph must stay
+  acyclic — the machine-checked form of the old prose rule that the
+  server's ``_work`` may be held while taking the admission
+  controller's lock, never the reverse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis import registry
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    ClassInfo,
+    build_graph,
+)
+from repro.analysis.framework import Context, Violation, rule
+
+#: An acquisition-order edge: ``module:Class.lockattr`` pairs.
+Edge = Tuple[str, str]
+
+
+def _lock_node(cls_key: str, lock: str) -> str:
+    return f"{cls_key}.{lock}"
+
+
+def _is_self_attr(expr: ast.expr, attr: str) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == attr
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    )
+
+
+def _held_names(cls_key: str,
+                spec: "registry.GuardedClass",
+                info: Optional[ClassInfo]) -> FrozenSet[str]:
+    names = set(spec.held_methods)
+    if info is not None:
+        names |= {
+            name for name in info.methods if name.endswith("_locked")
+        }
+    return frozenset(names)
+
+
+def _acquiring_methods(info: ClassInfo, lock: str) -> FrozenSet[str]:
+    """Methods whose bodies take ``with self.<lock>:`` themselves."""
+    found: Set[str] = set()
+    for name, method in info.methods.items():
+        if name == "__init__":
+            continue
+        for node in ast.walk(method.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                    _is_self_attr(item.context_expr, lock)
+                    for item in node.items):
+                found.add(name)
+                break
+    return frozenset(found)
+
+
+class _ClassChecker:
+    """Checks one registered class's methods for lockset violations."""
+
+    def __init__(self, graph: CallGraph, cls_key: str,
+                 spec: "registry.GuardedClass", info: ClassInfo,
+                 acquiring: Dict[str, FrozenSet[str]]) -> None:
+        self.graph = graph
+        self.cls_key = cls_key
+        self.spec = spec
+        self.info = info
+        self.held_names = _held_names(cls_key, spec, info)
+        #: ``module:Class`` ⇒ that class's lock-acquiring methods.
+        self.acquiring = acquiring
+        self.violations: List[Violation] = []
+        self.observed: List[Tuple[Edge, Violation]] = []
+
+    def run(self) -> None:
+        for name, method in self.info.methods.items():
+            if name == "__init__":
+                continue
+            held = name in self.held_names
+            self._types = self.graph.local_types(method)
+            self._visit(method.node.body, held)
+
+    # -- traversal -----------------------------------------------------
+
+    def _visit(self, body: Sequence[ast.stmt], held: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs run on their own schedule
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = False
+                for item in stmt.items:
+                    if _is_self_attr(item.context_expr, self.spec.lock):
+                        acquired = True
+                    else:
+                        self._expr(item.context_expr, held)
+                self._visit(stmt.body, held or acquired)
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, held)
+                elif isinstance(child, ast.stmt):
+                    self._visit([child], held)
+                elif isinstance(child, ast.ExceptHandler):
+                    self._visit(child.body, held)
+                elif isinstance(child, ast.keyword):
+                    self._expr(child.value, held)
+                elif isinstance(child, ast.match_case):
+                    self._visit(child.body, held)
+
+    def _expr(self, expr: ast.expr, held: bool) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "self" and \
+                    node.attr in self.spec.fields and not held:
+                action = "written" if isinstance(
+                    node.ctx, (ast.Store, ast.Del)) else "read"
+                self._violate(
+                    node,
+                    f"guarded field self.{node.attr} {action} outside"
+                    f" 'with self.{self.spec.lock}'"
+                    f" (registry.GUARDED_FIELDS[{self.cls_key!r}])",
+                )
+            elif isinstance(node, ast.Call):
+                self._call(node, held)
+
+    def _call(self, call: ast.Call, held: bool) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if isinstance(func.value, ast.Name) and \
+                func.value.id == "self" and \
+                func.attr in self.held_names and not held:
+            self._violate(
+                call,
+                f"call to held-method self.{func.attr}() outside"
+                f" 'with self.{self.spec.lock}' — its body assumes"
+                f" the lock is held",
+            )
+            return
+        if not held:
+            return
+        # Holding our lock while calling into another registered
+        # class's lock-acquiring method is an acquisition-order edge.
+        receiver = self.graph.expr_class(
+            func.value, self._types, self.info.module)
+        if receiver is None or receiver.qualname == self.cls_key:
+            return
+        other = self.acquiring.get(receiver.qualname)
+        if other is None or func.attr not in other:
+            return
+        guarded = registry.GUARDED_FIELDS[receiver.qualname]
+        edge = (
+            _lock_node(self.cls_key, self.spec.lock),
+            _lock_node(receiver.qualname, guarded.lock),
+        )
+        self.observed.append((edge, Violation(
+            "SL011", self.info.source.relative,
+            getattr(call, "lineno", 1),
+            f"undeclared lock-order edge {edge[0]} -> {edge[1]};"
+            f" declare it in registry.LOCK_ORDER or drop the nested"
+            f" acquisition",
+        )))
+
+    def _violate(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            "SL011", self.info.source.relative,
+            getattr(node, "lineno", 1), message,
+        ))
+
+
+def lock_edges(context: Context) -> Tuple[List[Edge], List[Edge]]:
+    """(declared, observed) acquisition-order edges, for ``--graph``."""
+    declared = [tuple(edge) for edge in registry.LOCK_ORDER]
+    observed: List[Edge] = []
+    for checker in _checkers(context):
+        checker.run()
+        observed.extend(edge for edge, _ in checker.observed)
+    return list(declared), observed
+
+
+def _checkers(context: Context) -> Iterator[_ClassChecker]:
+    graph = build_graph(context)
+    acquiring: Dict[str, FrozenSet[str]] = {}
+    present: Dict[str, ClassInfo] = {}
+    for cls_key, spec in registry.GUARDED_FIELDS.items():
+        info = graph.classes.get(cls_key)
+        if info is None:
+            continue
+        present[cls_key] = info
+        acquiring[cls_key] = (
+            _acquiring_methods(info, spec.lock)
+            | _held_names(cls_key, spec, info)
+        )
+    for cls_key, info in present.items():
+        yield _ClassChecker(graph, cls_key,
+                            registry.GUARDED_FIELDS[cls_key], info,
+                            acquiring)
+
+
+def _discover_locks(graph: CallGraph) -> Iterator[Violation]:
+    """Flag threading locks in patrolled ``__init__``s that have no
+    registry entry, and registry locks that are never created."""
+    for info in graph.classes.values():
+        if not info.module.startswith(registry.LOCK_MODULE_PREFIXES):
+            continue
+        init = info.methods.get("__init__")
+        created: Dict[str, int] = {}
+        if init is not None:
+            for stmt in ast.walk(init.node):
+                if not (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Attribute)
+                        and isinstance(stmt.targets[0].value, ast.Name)
+                        and stmt.targets[0].value.id == "self"
+                        and isinstance(stmt.value, ast.Call)):
+                    continue
+                func = stmt.value.func
+                name = ""
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute) and \
+                        isinstance(func.value, ast.Name) and \
+                        func.value.id == "threading":
+                    name = func.attr
+                if name in registry.LOCK_FACTORIES:
+                    created[stmt.targets[0].attr] = stmt.lineno
+        spec = registry.GUARDED_FIELDS.get(info.qualname)
+        if spec is None:
+            for attr, line in sorted(created.items()):
+                yield Violation(
+                    "SL011", info.source.relative, line,
+                    f"undeclared lock self.{attr} in {info.qualname};"
+                    f" declare its guarded fields in"
+                    f" registry.GUARDED_FIELDS",
+                )
+        elif created and spec.lock not in created:
+            yield Violation(
+                "SL011", info.source.relative, info.node.lineno,
+                f"registry declares lock {spec.lock!r} for"
+                f" {info.qualname} but __init__ never creates it",
+            )
+
+
+def _find_cycle(edges: Iterable[Edge]) -> Optional[List[str]]:
+    graph: Dict[str, Set[str]] = {}
+    for outer, inner in edges:
+        graph.setdefault(outer, set()).add(inner)
+        graph.setdefault(inner, set())
+    state: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        state[node] = 1
+        stack.append(node)
+        for neighbour in sorted(graph.get(node, ())):
+            mark = state.get(neighbour, 0)
+            if mark == 1:
+                return stack[stack.index(neighbour):] + [neighbour]
+            if mark == 0:
+                cycle = visit(neighbour)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        state[node] = 2
+        return None
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def _anchor_for(context: Context, node: str) -> Tuple[str, int]:
+    cls_key = node.rsplit(".", 1)[0]
+    graph = build_graph(context)
+    info = graph.classes.get(cls_key)
+    if info is not None:
+        return info.source.relative, info.node.lineno
+    module = cls_key.split(":", 1)[0]
+    source = context.by_module(module)
+    if source is not None:
+        return source.relative, 1
+    return module, 1
+
+
+@rule(
+    "SL011",
+    "lockset race detector",
+    "guarded fields may only be touched under their registered lock, "
+    "and the lock-acquisition-order graph must match the declared "
+    "order and stay acyclic",
+    scope="project",
+)
+def check_locksets(context: Context) -> Iterable[Violation]:
+    graph = build_graph(context)
+    violations: List[Violation] = list(_discover_locks(graph))
+    declared: Set[Edge] = {
+        (outer, inner) for outer, inner in registry.LOCK_ORDER
+    }
+    observed: List[Tuple[Edge, Violation]] = []
+    for checker in _checkers(context):
+        checker.run()
+        violations.extend(checker.violations)
+        observed.extend(checker.observed)
+    seen: Set[Edge] = set()
+    for edge, violation in observed:
+        if edge not in declared and edge not in seen:
+            seen.add(edge)
+            violations.append(violation)
+    all_edges = declared | {edge for edge, _ in observed}
+    cycle = _find_cycle(all_edges)
+    if cycle is not None:
+        path, line = _anchor_for(context, cycle[0])
+        chain = " -> ".join(cycle)
+        violations.append(Violation(
+            "SL011", path, line,
+            f"lock-acquisition-order graph has a cycle: {chain};"
+            f" fix registry.LOCK_ORDER or the nested acquisition",
+        ))
+    return violations

@@ -1,0 +1,41 @@
+"""SL010 — no source→sink path without a registered mask application.
+
+The paper's guarantee is that the derived view-definition mask is the
+*sole* disclosure channel.  This rule proves the static half of that:
+every interprocedural path from a backend read or raw evaluation
+result (``registry.TAINT_SOURCES``) to a user-facing sink
+(``registry.TAINT_SINKS``, delivery methods, chunk yields) must pass
+through a registered mask application (``registry.TAINT_SANITIZERS``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.flow.callgraph import build_graph
+from repro.analysis.flow.dataflow import TaintAnalysis
+from repro.analysis.framework import Context, Violation, rule
+
+
+def taint_for(context: Context) -> TaintAnalysis:
+    """Build (or fetch the cached) taint fixpoint for ``context``."""
+    cached = context.cache.get("flow.taint")
+    if isinstance(cached, TaintAnalysis):
+        return cached
+    analysis = TaintAnalysis(build_graph(context))
+    analysis.run()
+    context.cache["flow.taint"] = analysis
+    return analysis
+
+
+@rule(
+    "SL010",
+    "mask-escape taint",
+    "every path from a backend read to a user-facing sink must "
+    "traverse a registered mask application — the mask is the sole "
+    "disclosure channel",
+    scope="project",
+)
+def check_mask_escape(context: Context) -> Iterable[Violation]:
+    violations: List[Violation] = list(taint_for(context).violations)
+    return violations

@@ -25,6 +25,7 @@ import ast
 import io
 import json
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -107,6 +108,9 @@ class SourceFile:
         self.relative = relative_path(path, root)
         self.line_disables: Dict[int, FrozenSet[str]] = {}
         self.file_disables: FrozenSet[str] = frozenset()
+        #: Rule ⇒ line of the ``disable-file`` comment declaring it
+        #: (for unused-suppression reporting).
+        self.file_disable_lines: Dict[str, int] = {}
         self._scan_suppressions()
 
     def _scan_suppressions(self) -> None:
@@ -122,6 +126,8 @@ class SourceFile:
             )
             if match.group(1) == "disable-file":
                 file_rules |= rules
+                for rule_id in rules:
+                    self.file_disable_lines.setdefault(rule_id, number)
             else:
                 self.line_disables[number] = (
                     self.line_disables.get(number, frozenset()) | rules
@@ -163,6 +169,9 @@ class Context:
 
     root: Path
     sources: List[SourceFile]
+    #: Scratch space shared by whole-program rules so the call graph
+    #: and dataflow fixpoint are built once per run, not per rule.
+    cache: Dict[str, object] = field(default_factory=dict)
 
     def by_module(self, module: str) -> Optional[SourceFile]:
         for source in self.sources:
@@ -292,6 +301,9 @@ class Report:
     violations: List[Violation] = field(default_factory=list)
     files_scanned: int = 0
     suppressed: int = 0
+    #: Wall-clock analyzer time in seconds (recorded in the CI log to
+    #: watch for runtime regressions).
+    elapsed: float = 0.0
 
     @property
     def clean(self) -> bool:
@@ -303,6 +315,7 @@ class Report:
         lines.append(
             f"soundlint: {len(self.violations)} {noun} in "
             f"{self.files_scanned} files ({self.suppressed} suppressed)"
+            f" [{self.elapsed:.2f}s]"
         )
         return "\n".join(lines)
 
@@ -311,7 +324,62 @@ class Report:
             {
                 "files_scanned": self.files_scanned,
                 "suppressed": self.suppressed,
+                "elapsed_s": round(self.elapsed, 3),
                 "violations": [v.to_json() for v in self.violations],
+            },
+            indent=2,
+        )
+
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0, the interchange format CI uploads so findings
+        annotate pull-request diffs."""
+        rules = all_rules()
+        descriptors = [
+            {
+                "id": info.id,
+                "shortDescription": {"text": info.title},
+                "fullDescription": {"text": info.rationale},
+            }
+            for info in sorted(rules.values(), key=lambda r: r.id)
+        ]
+        descriptors.insert(0, {
+            "id": PARSE_RULE,
+            "shortDescription": {"text": "analyzer parse gate"},
+            "fullDescription": {
+                "text": "files that cannot be analyzed and stale "
+                        "suppressions fail closed",
+            },
+        })
+        results = [
+            {
+                "ruleId": v.rule,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {"startLine": max(v.line, 1)},
+                    },
+                }],
+            }
+            for v in self.violations
+        ]
+        return json.dumps(
+            {
+                "$schema": (
+                    "https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                ),
+                "version": "2.1.0",
+                "runs": [{
+                    "tool": {
+                        "driver": {
+                            "name": "repro-soundlint",
+                            "rules": descriptors,
+                        },
+                    },
+                    "results": results,
+                }],
             },
             indent=2,
         )
@@ -337,6 +405,7 @@ def run_paths(paths: Sequence[Path],
               ignore: Optional[Iterable[str]] = None,
               root: Optional[Path] = None) -> Report:
     """Analyze every python file under ``paths`` with the active rules."""
+    started = time.monotonic()
     rules = all_rules()
     chosen = {
         info.id: info for info in rules.values()
@@ -365,13 +434,77 @@ def run_paths(paths: Sequence[Path],
             raw.extend(info.check(context))
 
     by_path = {source.relative: source for source in sources}
+    used_line: set = set()
+    used_file: set = set()
     for violation in raw:
         source = by_path.get(violation.path)
-        if source is not None and source.suppressed(violation.rule,
-                                                    violation.line):
+        if source is None:
+            report.violations.append(violation)
+            continue
+        if violation.rule in source.file_disables:
+            used_file.add((violation.path, violation.rule))
+            report.suppressed += 1
+            continue
+        if violation.rule in source.line_disables.get(violation.line,
+                                                      frozenset()):
+            used_line.add((violation.path, violation.line,
+                           violation.rule))
             report.suppressed += 1
             continue
         report.violations.append(violation)
 
+    report.violations.extend(_unused_suppressions(
+        sources, chosen, rules, select, used_line, used_file,
+    ))
     report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    report.elapsed = time.monotonic() - started
     return report
+
+
+def _unused_suppressions(sources: Sequence[SourceFile],
+                         chosen: Dict[str, "RuleInfo"],
+                         rules: Dict[str, "RuleInfo"],
+                         select: Optional[Iterable[str]],
+                         used_line: set,
+                         used_file: set) -> List[Violation]:
+    """SL000-class warnings for suppressions that suppressed nothing.
+
+    A suppression is *relevant* when its rule actually ran in this
+    invocation (so a ``--select`` subset never flags the others'
+    suppressions) or, in a full run, when it names a rule that does
+    not exist — a stale or typoed suppression can never fire and must
+    not linger as if it were load-bearing.
+    """
+    findings: List[Violation] = []
+
+    def relevant(rule_id: str) -> bool:
+        return rule_id in chosen or (
+            select is None and rule_id not in rules
+        )
+
+    for source in sources:
+        for line, disabled in sorted(source.line_disables.items()):
+            for rule_id in sorted(disabled):
+                if not relevant(rule_id):
+                    continue
+                if (source.relative, line, rule_id) in used_line:
+                    continue
+                findings.append(Violation(
+                    PARSE_RULE, source.relative, line,
+                    f"unused suppression: {rule_id} reports no "
+                    f"violation at this line — remove the stale "
+                    f"disable comment",
+                ))
+        for rule_id in sorted(source.file_disables):
+            if not relevant(rule_id):
+                continue
+            if (source.relative, rule_id) in used_file:
+                continue
+            findings.append(Violation(
+                PARSE_RULE, source.relative,
+                source.file_disable_lines.get(rule_id, 1),
+                f"unused suppression: {rule_id} reports no violation "
+                f"in this file — remove the stale disable-file "
+                f"comment",
+            ))
+    return findings

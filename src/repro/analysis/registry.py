@@ -9,8 +9,8 @@ code that merely drifts does not get to widen it implicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
 
 # ----------------------------------------------------------------------
 # SL001 — fail-closed exception discipline
@@ -230,10 +230,15 @@ FAILOVER_MARKERS: FrozenSet[str] = frozenset({
 # ----------------------------------------------------------------------
 
 #: Module prefixes that must route every data read through
-#: ``engine.authorize`` (demo and workload code is what readers copy).
+#: ``engine.authorize`` (demo and workload code is what readers copy;
+#: test and benchmark code is where a bypass would quietly become
+#: load-bearing).  Oracle/differential harnesses, where the bypass IS
+#: the point, carry justified ``disable-file=SL006`` suppressions.
 AUTHORIZE_ONLY_PREFIXES: Tuple[str, ...] = (
     "examples.",
     "repro.workloads.",
+    "tests.",
+    "benchmarks.",
 )
 
 #: Direct evaluation entry points that bypass the mask.
@@ -244,4 +249,201 @@ BYPASS_CALLS: FrozenSet[str] = frozenset({
 #: Imports that put a bypass in reach.
 BYPASS_IMPORTS: FrozenSet[str] = frozenset({
     "repro.algebra.evaluate", "repro.algebra.optimize",
+})
+
+# ----------------------------------------------------------------------
+# SL010 — interprocedural mask-escape taint
+# ----------------------------------------------------------------------
+
+#: ``module:qualname`` of every function whose *return value* is raw,
+#: unmasked data: backend reads and direct evaluation of a plan.  The
+#: taint pass marks their results as sources regardless of what their
+#: bodies look like.
+TAINT_SOURCES: FrozenSet[str] = frozenset({
+    # The backend protocol and every implementation of it.
+    "repro.backends.base:ExecutionBackend.execute",
+    "repro.backends.base:ExecutionBackend.execute_stream",
+    "repro.backends.common:_SQLBackend.execute",
+    "repro.backends.python:PythonBackend.execute",
+    "repro.backends.python:PythonBackend.execute_stream",
+    # The failover wrapper re-exposes the backend's raw results.
+    "repro.resilience.failover:ResilientExecutor.execute",
+    "repro.resilience.failover:ResilientExecutor.execute_stream",
+    # Direct evaluation of a plan, optimized or not, chunked or not.
+    "repro.algebra.evaluate:evaluate",
+    "repro.algebra.optimize:evaluate_optimized",
+    "repro.algebra.optimize:iter_evaluate_optimized",
+    # Raw relation access on the catalog.
+    "repro.algebra.database:Database.instance",
+})
+
+#: ``module:qualname`` of every function whose return value is
+#: *masked* data: the registered mask applications (the SL005 fast
+#: paths and their oracle) plus the masked backend entry points.  A
+#: tainted value passed through one of these comes out clean.
+TAINT_SANITIZERS: FrozenSet[str] = frozenset({
+    "repro.core.mask:Mask.apply",
+    "repro.core.compiled_mask:CompiledMask.apply",
+    "repro.core.compiled_mask:CompiledMask.apply_rows",
+    "repro.core.compiled_mask:CompiledMask.apply_columns",
+    "repro.core.compiled_mask:apply_mask_columnar",
+    "repro.core.compiled_mask:iter_apply_chunked",
+    # Masked execution applies the mask inside the backend.
+    "repro.backends.base:ExecutionBackend.execute_masked",
+    "repro.backends.common:_SQLBackend.execute_masked",
+    "repro.backends.python:PythonBackend.execute_masked",
+    "repro.resilience.failover:ResilientExecutor.execute_masked",
+    # The ladder derives masks (meta-data, never user rows); its
+    # output feeds the sanitizers above rather than carrying data.
+    "repro.metaalgebra.ladder:derive_mask_resilient",
+})
+
+
+@dataclass(frozen=True)
+class TaintSink:
+    """A user-facing sink the taint pass checks arguments at.
+
+    ``params`` restricts the check to the named constructor/call
+    parameters; ``None`` means every argument is checked.  Sink
+    constructors are *envelopes*: their result is clean, because the
+    envelope's checked payload was verified on the way in and its
+    unchecked fields are internal bookkeeping.
+    """
+
+    params: Optional[FrozenSet[str]] = None
+    reason: str = ""
+
+
+#: ``module:qualname`` of every user-facing sink constructor.  A value
+#: still tainted when it reaches a checked parameter is a mask escape.
+TAINT_SINKS: Dict[str, TaintSink] = {
+    # Only ``delivered`` is user-visible; ``answer`` is the raw
+    # pre-mask relation the engine keeps for stats/auditing and is
+    # *expected* to be tainted.
+    "repro.core.answer:AuthorizedAnswer": TaintSink(
+        params=frozenset({"delivered"}),
+        reason="delivered rows are the user-visible payload",
+    ),
+    # Audit records are shape-only by design (PAPER: the audit trail
+    # must not widen the disclosure channel) — no argument may carry
+    # raw rows.
+    "repro.core.audit:AuditRecord": TaintSink(
+        params=None,
+        reason="audit records must stay shape-only",
+    ),
+    # The stream envelope takes no row payload at construction; its
+    # rows flow through the chunk-yield sink below.
+    "repro.core.stream:AnswerStream": TaintSink(
+        params=frozenset(),
+        reason="rows are delivered via the chunk-yield sink",
+    ),
+}
+
+#: Method names that deliver a value to a waiting client.  Any call
+#: ``x.<name>(value)`` is a sink on every argument (serving responses:
+#: ``Future.set_result``).
+TAINT_SINK_METHODS: FrozenSet[str] = frozenset({
+    "set_result",
+})
+
+#: Return-annotation markers for *yield sinks*: a generator whose
+#: return annotation mentions one of these types delivers each yielded
+#: value to the user, so every ``yield`` is a checked sink.
+TAINT_YIELD_TYPES: FrozenSet[str] = frozenset({
+    "MaskedChunk",
+})
+
+#: Calls that merely repackage their arguments: the result's taint is
+#: the union of the argument taints.  Everything else unresolved drops
+#: taint (documented unsoundness — the closed world ends at the
+#: stdlib).
+TAINT_PRESERVING_CALLS: FrozenSet[str] = frozenset({
+    "tuple", "list", "set", "frozenset", "dict", "iter", "next",
+    "sorted", "reversed", "zip", "enumerate", "chain",
+})
+
+# ----------------------------------------------------------------------
+# SL011 — lockset race detection in serving/resilience
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GuardedClass:
+    """A class whose listed fields are guarded by one of its locks.
+
+    ``lock`` names the attribute holding the :mod:`threading` lock (or
+    condition); ``fields`` are the attributes that must only be read or
+    written inside ``with self.<lock>:`` (or from a held method).
+    ``held_methods`` are methods documented as *caller holds the lock*
+    — their bodies are checked as if the lock were held, and calls to
+    them from outside a held scope are violations.  Methods whose name
+    ends in ``_locked`` are implicitly held methods.
+    """
+
+    lock: str
+    fields: FrozenSet[str]
+    held_methods: FrozenSet[str] = field(default_factory=frozenset)
+
+
+#: ``module:Class`` ⇒ guarded-field declaration for every lock-owning
+#: class in the patrolled modules.  A lock created in ``__init__`` of a
+#: patrolled class that has no entry here is itself a violation
+#: (undeclared lock), so this table cannot rot silently.
+GUARDED_FIELDS: Dict[str, GuardedClass] = {
+    # Promoted from the prose lock-ordering note in server.py: _work
+    # guards all queueing/scheduling state; _schedule documents
+    # "caller holds _work".
+    "repro.serving.server:AuthorizationServer": GuardedClass(
+        lock="_work",
+        fields=frozenset({
+            "_queues", "_ready", "_scheduled", "_busy", "_stamps",
+            "_closing", "_served", "_batches", "_batched_requests",
+            "_largest_batch",
+        }),
+        held_methods=frozenset({"_schedule"}),
+    ),
+    "repro.serving.admission:AdmissionController": GuardedClass(
+        lock="_lock",
+        fields=frozenset({
+            "_backlog", "_max_backlog", "_admitted", "_completed",
+            "_hard_sheds", "_soft_sheds", "_deadline_sheds",
+            "_tenant_floors",
+        }),
+    ),
+    "repro.serving.tenants:TenantRegistry": GuardedClass(
+        lock="_lock",
+        fields=frozenset({"_tenants"}),
+    ),
+    "repro.resilience.breaker:CircuitBreaker": GuardedClass(
+        lock="_lock",
+        fields=frozenset({
+            "_state", "_failures", "_opened_at", "_probing",
+            "_opened", "_reclosed",
+        }),
+    ),
+}
+
+#: Declared lock-acquisition order, as ``(outer, inner)`` edges over
+#: ``module:Class.lockattr`` nodes.  The server's condition may be
+#: held while taking the admission controller's lock, never the
+#: reverse; engine and cache locks are leaves.  The observed-edge
+#: graph must be a subset of this declaration and the union must stay
+#: acyclic.
+LOCK_ORDER: Tuple[Tuple[str, str], ...] = (
+    (
+        "repro.serving.server:AuthorizationServer._work",
+        "repro.serving.admission:AdmissionController._lock",
+    ),
+)
+
+#: Module prefixes the lockset rule patrols for lock discovery and
+#: guarded-field enforcement.
+LOCK_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro.serving.",
+    "repro.resilience.",
+)
+
+#: Constructor names (from :mod:`threading`) that create a lock.
+LOCK_FACTORIES: FrozenSet[str] = frozenset({
+    "Lock", "RLock", "Condition",
 })

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from repro.analysis.flow import (  # noqa: F401
+    locks,
+    taint,
+)
 from repro.analysis.rules import (  # noqa: F401
     backends,
     budgets,

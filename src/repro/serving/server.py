@@ -150,6 +150,10 @@ class AuthorizationServer:
     Lock ordering: the server's condition (``_work``) may be held while
     taking the admission controller's lock, never the reverse.  Engine
     and cache locks are leaves — nothing is held when they are taken.
+    This discipline is machine-checked: the fields ``_work`` guards and
+    the permitted acquisition order are declared in
+    ``repro.analysis.registry`` (``GUARDED_FIELDS`` / ``LOCK_ORDER``)
+    and enforced by soundlint rule SL011.
     """
 
     def __init__(self, config: ServerConfig = ServerConfig()) -> None:
@@ -302,7 +306,8 @@ class AuthorizationServer:
     # ------------------------------------------------------------------
 
     def _schedule(self, key: _BatchKey) -> None:
-        """Mark ``key`` ready for a worker.  Caller holds ``_work``."""
+        """Mark ``key`` ready for a worker.  Caller holds ``_work``
+        (a registered held-method: SL011 checks every call site)."""
         self._scheduled.add(key)
         self._ready.append(key)
         if self.config.batch_linger_ms > 0:

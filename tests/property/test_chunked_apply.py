@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Differential property tests: chunk-streamed paths ≡ materializing.
 
 Two streaming fast paths carry PR 9's bounded-memory delivery, and

@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Property test: containment certificates hold on random instances.
 
 ``is_contained_in`` is conservative by design; this test checks its

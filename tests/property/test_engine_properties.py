@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Property tests on the engine: soundness and structural invariants.
 
 These are the heavyweight checks:

@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Property tests: the interval abstraction against brute force.
 
 Intervals are the decision core of the four-case refinement; a wrong

@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Property tests: persistence round-trips on random workloads."""
 
 from hypothesis import HealthCheck, given, settings, strategies as st

@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Stress property tests on wider workloads (3-relation views).
 
 The default property workloads use views over at most two relations;

@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- differential/property harness: direct evaluation is the oracle the masked path is compared against
 """Unit tests for the pluggable execution backends.
 
 The property suite (``tests/property/test_backend_parity.py``) covers

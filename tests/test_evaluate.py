@@ -1,3 +1,4 @@
+# soundlint: disable-file=SL006 -- exercises the algebra/evaluation layer directly, below the authorization boundary; nothing is user-delivered
 """Unit tests for the naive PSJ evaluator."""
 
 import pytest

@@ -677,11 +677,79 @@ def test_violations_are_sorted_and_rendered(tmp_path: Path) -> None:
 def test_rule_registry_is_complete() -> None:
     assert set(all_rules()) == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL009",
+        "SL008", "SL009", "SL010", "SL011",
     }
     for info in all_rules().values():
         assert info.title and info.rationale
         assert info.scope in ("file", "project")
+
+
+# ----------------------------------------------------------------------
+# unused suppressions (SL000-class)
+# ----------------------------------------------------------------------
+
+
+def test_unused_line_suppression_is_flagged(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            def helper() -> None:  # soundlint: disable=SL001 -- stale
+                return None
+        """,
+    })
+    report = lint(root, "src", select=["SL001", "SL007"])
+    assert rules_hit(report) == ["SL000"]
+    assert "unused suppression" in report.violations[0].message
+    assert "SL001" in report.violations[0].message
+
+
+def test_unused_file_suppression_is_flagged(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            # soundlint: disable-file=SL006 -- stale
+            def helper() -> None:
+                return None
+        """,
+    })
+    report = lint(root, "src", select=["SL006", "SL007"])
+    assert rules_hit(report) == ["SL000"]
+    assert "disable-file" in report.violations[0].message
+
+
+def test_used_suppression_is_not_flagged(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            def helper():  # soundlint: disable=SL007 -- fixture
+                return None
+        """,
+    })
+    report = lint(root, "src", select=["SL007"])
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_unselected_rule_suppression_is_not_flagged(
+        tmp_path: Path) -> None:
+    # A --select subset must not flag suppressions for rules that
+    # did not run in this invocation.
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            def helper() -> None:  # soundlint: disable=SL001 -- other
+                return None
+        """,
+    })
+    assert lint(root, "src", select=["SL007"]).clean
+
+
+def test_unknown_rule_suppression_is_flagged(tmp_path: Path) -> None:
+    # A typoed rule ID can never fire; a full run flags it.
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            def helper() -> None:  # soundlint: disable=SL999 -- typo
+                return None
+        """,
+    })
+    report = lint(root, "src")
+    assert "SL999" in report.violations[0].message
 
 
 # ----------------------------------------------------------------------
@@ -714,8 +782,52 @@ def test_cli_exit_codes_and_json(tmp_path: Path,
 def test_cli_lists_rules(capsys: pytest.CaptureFixture) -> None:
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("SL001", "SL007"):
+    for rule_id in ("SL001", "SL007", "SL010", "SL011"):
         assert rule_id in out
+
+
+def test_cli_sarif_output(tmp_path: Path,
+                          capsys: pytest.CaptureFixture) -> None:
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": """
+            def helper():
+                try:
+                    risky()
+                except Exception:
+                    pass
+        """,
+    })
+    assert main([str(root / "src"), "--select", "SL001",
+                 "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-soundlint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"SL000", "SL001", "SL010", "SL011"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "SL001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("util.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_cli_graph_dump(capsys: pytest.CaptureFixture) -> None:
+    assert main(["--graph", str(REPO_ROOT / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "call graph:" in out
+    assert "lock-order graph:" in out
+    assert "AuthorizationServer._work" in out
+
+
+def test_report_records_elapsed_runtime(tmp_path: Path) -> None:
+    root = make_tree(tmp_path, {
+        "src/repro/core/util.py": "def f() -> None:\n    return None\n",
+    })
+    report = lint(root, "src", select=["SL007"])
+    assert report.elapsed >= 0.0
+    assert "s]" in report.render_human()
+    assert "elapsed_s" in report.render_json()
 
 
 def test_cli_rejects_missing_paths(tmp_path: Path) -> None:
@@ -739,13 +851,14 @@ def test_live_tree_is_violation_free() -> None:
 
 
 def test_live_tree_suppressions_are_justified() -> None:
-    # Every suppression *comment* in src/examples carries a reason
+    # Every suppression *comment* in the perimeter carries a reason
     # (the ``-- reason`` tail) — a bare disable is a review smell.
     # Docstrings that document the syntax are exempt, which is why we
     # reuse the analyzer's tokenizing comment scanner.
     from repro.analysis.framework import _comments
 
-    for base in (REPO_ROOT / "src", REPO_ROOT / "examples"):
+    for base in (REPO_ROOT / "src", REPO_ROOT / "examples",
+                 REPO_ROOT / "tests", REPO_ROOT / "benchmarks"):
         for path in base.rglob("*.py"):
             text = path.read_text(encoding="utf-8")
             for _, comment in _comments(text):
@@ -753,3 +866,17 @@ def test_live_tree_suppressions_are_justified() -> None:
                     assert "--" in comment.split("soundlint:")[1], (
                         f"{path}: suppression without justification"
                     )
+
+
+def test_live_tree_has_no_unused_suppressions() -> None:
+    # src/examples under the full rule set: any stale suppression
+    # surfaces as an SL000 violation in the report above; here the
+    # SL006 perimeter over tests/benchmarks gets the same sweep —
+    # every disable-file=SL006 must actually suppress something.
+    report = run_paths(
+        [REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        select=["SL006"], root=REPO_ROOT,
+    )
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"SL006 perimeter violations:\n{rendered}"
+    assert report.suppressed > 0  # the harness suppressions are live
